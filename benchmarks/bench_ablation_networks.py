@@ -1,0 +1,21 @@
+"""Ablation (sections 5.3 / 8.1): the second static network buys nothing.
+
+Regenerates the sufficiency claim: with conflict-free or uniform
+traffic, enabling Raw's second static network leaves throughput flat --
+output-port contention binds, not ring bandwidth.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_second_network_ablation(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_second_network(quanta=3000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("permutation_speedup") == pytest.approx(1.0, abs=0.01)
+    assert result.measured("uniform_speedup") == pytest.approx(1.0, abs=0.06)

@@ -1,0 +1,22 @@
+"""Ablation (section 4.3): crossbar transfer-block size.
+
+Regenerates the fragmentation cost curve: shrinking the quantum
+multiplies the per-quantum control overhead across a packet; the design
+point (256 words = one max packet) sits at the top of the curve.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+def test_quantum_size_ablation(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: ablations.run_quantum_size(quanta=3000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    series = [result.measured(f"quantum_{q}w") for q in (16, 32, 64, 128, 256)]
+    assert series == sorted(series)
+    assert result.measured("full_over_smallest") > 2.5

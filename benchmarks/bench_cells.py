@@ -1,0 +1,20 @@
+"""Chapter 2 claim: fixed cells (~100%) vs variable-length packets (~60%).
+
+Regenerates the "why fixed length packets" utilization argument of
+section 2.2.2 on the slot-level backplane models.
+"""
+
+import pytest
+
+from repro.experiments import claims_ch2
+
+
+def test_cells_vs_variable_length(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: claims_ch2.run_cells_vs_packets(slots=25000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("cell_mode_util") > 0.85
+    assert result.measured("variable_length_util") == pytest.approx(0.60, abs=0.08)

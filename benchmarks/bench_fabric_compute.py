@@ -1,0 +1,21 @@
+"""Section 8.3: computation in the switch fabric.
+
+Regenerates the throughput price of each in-fabric service (byteswap
+free, cipher/checksum at half rate) plus the functional round trip.
+"""
+
+import pytest
+
+from repro.experiments import compute_ext
+
+
+def test_fabric_compute_costs(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: compute_ext.run(quanta=2000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("byteswap_relative") == pytest.approx(1.0, abs=0.01)
+    assert result.measured("xor_cipher_relative") == pytest.approx(0.5, abs=0.02)
+    assert result.measured("cipher_roundtrip_ok") is True

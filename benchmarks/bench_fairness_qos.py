@@ -1,0 +1,31 @@
+"""Sections 5.4 / 8.7: fairness bound and weighted-token QoS.
+
+Regenerates the starvation bound (a backlogged input is served within
+N-1 quanta) and the weighted-share table.
+"""
+
+import pytest
+
+from repro.experiments import fairness_qos
+
+
+def test_fairness_bound(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fairness_qos.run_fairness(quanta=4000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("worst_starvation_gap") == 3
+    assert result.measured("jains_index") == pytest.approx(1.0, abs=0.01)
+
+
+def test_qos_weighted_tokens(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fairness_qos.run_qos(quanta=6000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("weighted_share_port0") == pytest.approx(4 / 7, abs=0.02)
+    assert result.measured("weighted_min_share") == pytest.approx(1 / 7, abs=0.02)

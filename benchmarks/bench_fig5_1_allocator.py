@@ -1,0 +1,35 @@
+"""Fig 5-1 worked example + allocator microbenchmark.
+
+The first test pins the exact allocation of the thesis's illustration;
+the second times the allocation rule itself (it runs once per routing
+quantum on every Crossbar Processor, so its cost matters).
+"""
+
+import pytest
+
+from repro.core.allocator import Allocator
+from repro.core.ring import RingGeometry
+from repro.experiments import fig5_1
+
+
+def test_fig5_1_worked_example(benchmark, record_table):
+    result = benchmark.pedantic(fig5_1.run, rounds=1, iterations=1)
+    record_table(result)
+    for row in result.rows:
+        assert row["measured"] == row["paper"], row
+
+
+def test_allocation_rule_speed(benchmark):
+    allocator = Allocator(RingGeometry(4))
+    cases = [
+        ((2, 3, 0, 1), 0),
+        ((0, 0, 0, 0), 2),
+        ((None, 1, None, 3), 1),
+        ((1, 2, 3, 0), 3),
+    ]
+
+    def run_batch():
+        for headers, token in cases:
+            allocator.allocate(headers, token)
+
+    benchmark(run_batch)

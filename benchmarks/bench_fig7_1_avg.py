@@ -1,0 +1,23 @@
+"""Fig 7-1 (bottom): average throughput under uniform traffic vs Click.
+
+Regenerates the bottom bar chart and the ~69% average-to-peak ratio of
+section 7.3.
+"""
+
+import pytest
+
+from repro.experiments import fig7_1, paperdata
+
+
+def test_fig7_1_average(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fig7_1.run_average(quanta=5000, click_packets=2000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    for size, ref in paperdata.AVG_GBPS.items():
+        assert result.measured(f"{size}B") == pytest.approx(ref, rel=0.16)
+    assert result.measured("avg_to_peak_1024B") == pytest.approx(
+        paperdata.AVG_TO_PEAK, abs=0.04
+    )

@@ -1,0 +1,23 @@
+"""Fig 7-1 (top): peak throughput vs packet size vs Click.
+
+Regenerates the series {64, 128, 256, 512, 1024}B plus the Click bar and
+the 3.3 Mpps headline; the benchmark time is the cost of the full sweep
+on the quantum-level engine.
+"""
+
+import pytest
+
+from repro.experiments import fig7_1, paperdata
+
+
+def test_fig7_1_peak(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fig7_1.run_peak(quanta=2000, click_packets=2000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    for size, ref in paperdata.PEAK_GBPS.items():
+        assert result.measured(f"{size}B") == pytest.approx(ref, rel=0.16)
+    assert result.measured("peak_mpps_1024B") == pytest.approx(3.3, rel=0.03)
+    assert result.measured("1024B") / result.measured("click_64B") > 100

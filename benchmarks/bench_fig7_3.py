@@ -1,0 +1,18 @@
+"""Fig 7-3: per-tile utilization timelines (word-level model).
+
+Regenerates both 800-cycle panels as ASCII Gantt charts plus the
+section 7.4 claims: utilization rises with packet size, ingress tiles
+sit blocked on the crossbar for small packets.
+"""
+
+import pytest
+
+from repro.experiments import fig7_3
+
+
+def test_fig7_3_utilization(benchmark, record_table):
+    result = benchmark.pedantic(fig7_3.run, rounds=1, iterations=1)
+    record_table(result)
+    assert result.measured("busy_ratio_1024_over_64") > 1.0
+    assert result.measured("ingress_busy_1024B") > result.measured("ingress_busy_64B")
+    assert result.measured("ingress_blocked_frac_64B") > 0.5

@@ -1,0 +1,21 @@
+"""Chapter 2 claim: HOL-limited FIFO (~58.6%) vs VOQ/iSLIP (~100%) vs OQ.
+
+Regenerates the throughput comparison behind the thesis's virtual-
+output-queueing discussion (section 2.2.2, quoting McKeown/Karol).
+"""
+
+import pytest
+
+from repro.experiments import claims_ch2
+
+
+def test_hol_vs_voq_vs_oq(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: claims_ch2.run_hol_voq(ports=(4, 8, 16), slots=15000, warmup=1500),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("fifo_N16") == pytest.approx(0.586, abs=0.05)
+    assert result.measured("voq_islip_N16") > 0.95
+    assert result.measured("fifo_N4") < result.measured("voq_islip_N4")

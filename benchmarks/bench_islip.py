@@ -1,0 +1,20 @@
+"""iSLIP convergence: delay vs scheduler iterations (vs PIM).
+
+Regenerates the section 2.2.2 point that iSLIP "attempts to quickly
+converge on a conflict-free match in multiple iterations".
+"""
+
+import pytest
+
+from repro.experiments import claims_ch2
+
+
+def test_islip_iterations(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: claims_ch2.run_islip_iterations(slots=12000, warmup=1200),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("islip_4it_delay") < result.measured("islip_1it_delay")
+    assert result.measured("islip_4it_tput") > 0.9

@@ -1,0 +1,31 @@
+"""Latency vs offered load (the edge-router characterization).
+
+An extension figure: the thesis evaluates saturated throughput only;
+this regenerates the queueing curve its line-card/buffering assumptions
+(section 4.4) imply, and pins the knee to the fabric's measured average
+capacity.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import load_latency
+
+
+def test_load_latency_curve(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: load_latency.run(packets_per_port=300),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    # Latency is monotone-ish in load and explodes past the knee.
+    lats = [result.measured(f"mean_us_at_{l}") for l in (0.2, 0.6, 0.95)]
+    assert all(not math.isnan(x) for x in lats)
+    assert lats[0] < lats[1] < lats[2]
+    # No drops at light load; drops appear at overload.
+    assert result.measured("drop_pct_at_0.2") == 0.0
+    assert result.measured("drop_pct_at_0.95") > 0.0
+    # The top-load goodput approaches the fabric's average capacity.
+    assert result.measured("top_load_goodput_over_capacity") > 0.9

@@ -1,0 +1,26 @@
+"""Section 8.2: route lookup structures on a 250 MHz tile.
+
+Regenerates the PATRICIA-vs-compressed-table comparison: lookups per
+second through the tile cache model, memory touches, and footprints.
+"""
+
+import pytest
+
+from repro.experiments import lookup_ext
+
+
+def test_lookup_structures(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: lookup_ext.run(table_sizes=(1000, 10000, 50000), lookups=2000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    for n in (1000, 10000, 50000):
+        assert result.measured(f"compressed_mlookups_per_s_{n}") > result.measured(
+            f"trie_mlookups_per_s_{n}"
+        )
+        assert result.measured(f"compressed_max_visits_le3_{n}") is True
+    # Section 8.2's software-multithreading claim.
+    assert result.measured("nonblocking_speedup_W8") == pytest.approx(8.0, rel=0.01)
+    assert result.measured("nonblocking_mlps_W8") > 3.5  # beats the IXP1200

@@ -1,0 +1,20 @@
+"""Section 8.6: fabric multicast (fanout splitting) vs ingress replication.
+
+Regenerates the copies-per-cycle comparison behind the thesis's
+multicast extension (and McKeown's +40% fanout-splitting figure).
+"""
+
+import pytest
+
+from repro.experiments import multicast_ext
+
+
+def test_multicast_fanout_splitting(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: multicast_ext.run(fanouts=(2, 3), quanta=3000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("fabric_gain_F2") > 1.1
+    assert result.measured("fabric_gain_F3") > 1.25

@@ -1,0 +1,20 @@
+"""Section 8.5 composition: Clos of 4-port crossbars vs one big ring.
+
+Regenerates the quantified case for the thesis's multi-crossbar scaling
+proposal: antipodal permutations recover ~4x throughput under the Clos.
+"""
+
+import pytest
+
+from repro.experiments import multichip
+
+
+def test_clos_composition(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: multichip.run(quanta=1500),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("antipodal_clos_gain") > 3.0
+    assert result.measured("neighbor_single_ring_gbps") > 90  # ring fine here

@@ -1,0 +1,24 @@
+"""Section 8.5: the Rotating Crossbar at 4, 8, 16 ports.
+
+Regenerates both scaling regimes: neighbor permutations scale linearly,
+antipodal permutations hit the ring bisection.
+"""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+def test_scaling_regimes(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: scaling.run(port_counts=(4, 8, 16), quanta=2000),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    assert result.measured("neighbor_gbps_N16") == pytest.approx(
+        4 * result.measured("neighbor_gbps_N4"), rel=0.05
+    )
+    assert result.measured("antipodal_gbps_N16") == pytest.approx(
+        result.measured("antipodal_gbps_N4"), rel=0.1
+    )

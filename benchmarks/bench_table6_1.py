@@ -1,0 +1,19 @@
+"""Chapter 6 / Table 6.1: configuration space and its minimization.
+
+Regenerates the 2,500-point space, the per-tile minimization, and the
+IMEM-fit arithmetic; the benchmark time covers the full three-pass
+compile (reservation walk over the space + minimization + codegen size).
+"""
+
+import pytest
+
+from repro.experiments import table6_1
+
+
+def test_table6_1_config_space(benchmark, record_table):
+    result = benchmark.pedantic(table6_1.run, rounds=1, iterations=1)
+    record_table(result)
+    assert result.measured("global_space") == 2500
+    assert 20 <= result.measured("minimized_configs") <= 48
+    assert result.measured("reduction_factor") > 50
+    assert result.measured("fits_switch_imem") is True

@@ -1,0 +1,34 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures; the
+measured-vs-paper tables are collected here and emitted in the terminal
+summary (so they survive pytest's output capture and land in
+``bench_output.txt``).
+"""
+
+import pytest
+
+_TABLES = []
+
+
+@pytest.fixture
+def record_table():
+    """Benchmarks call this with an ExperimentResult (or raw string) to
+    have its table printed in the run summary."""
+
+    def _record(result):
+        text = result if isinstance(result, str) else result.to_text()
+        _TABLES.append(text)
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

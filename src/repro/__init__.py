@@ -1,0 +1,17 @@
+"""raw-router: the Rotating Crossbar router on a simulated Raw processor.
+
+Reproduction of Chuvpilo, *High-Bandwidth Packet Switching on the Raw
+General-Purpose Architecture* (MIT MEng thesis 2002 / ICPP 2003).
+
+Most users want one of:
+
+* :class:`repro.router.RawRouter` -- the full 4-port (or N-port) router.
+* :class:`repro.core.Allocator` -- the Rotating Crossbar allocation rule.
+* :mod:`repro.experiments` -- regenerate any of the paper's tables/figures.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro run fig7_1_peak      # one experiment, full budget
+    python -m repro run table6_1 --quick # reduced budget
+    python -m repro all --quick          # everything
+
+Benchmark timing is pytest-benchmark's job; this entry point is for
+humans who want the tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ablations,
+    claims_ch2,
+    compute_ext,
+    fairness_qos,
+    fig5_1,
+    fig7_1,
+    fig7_3,
+    load_latency,
+    lookup_ext,
+    multicast_ext,
+    multichip,
+    scaling,
+    table6_1,
+)
+
+#: name -> (description, full-budget runner, quick-budget runner)
+REGISTRY: Dict[str, Tuple[str, Callable, Callable]] = {
+    "fig7_1_peak": (
+        "Fig 7-1 top: peak throughput vs packet size vs Click",
+        lambda: fig7_1.run_peak(quanta=2000, click_packets=2000),
+        lambda: fig7_1.run_peak(quanta=500, click_packets=400),
+    ),
+    "fig7_1_avg": (
+        "Fig 7-1 bottom: average throughput (uniform traffic)",
+        lambda: fig7_1.run_average(quanta=5000, click_packets=2000),
+        lambda: fig7_1.run_average(quanta=1200, click_packets=400),
+    ),
+    "fig7_3": (
+        "Fig 7-3: per-tile utilization timelines (word-level)",
+        fig7_3.run,
+        fig7_3.run,
+    ),
+    "fig5_1": (
+        "Fig 5-1: the worked Rotating Crossbar example",
+        fig5_1.run,
+        fig5_1.run,
+    ),
+    "table6_1": (
+        "Table 6.1 / ch.6: configuration space + minimization",
+        table6_1.run,
+        table6_1.run,
+    ),
+    "abl_networks": (
+        "Ablation: second static network (sections 5.3/8.1)",
+        lambda: ablations.run_second_network(quanta=3000),
+        lambda: ablations.run_second_network(quanta=800),
+    ),
+    "abl_quantum": (
+        "Ablation: crossbar transfer-block size (section 4.3)",
+        lambda: ablations.run_quantum_size(quanta=3000),
+        lambda: ablations.run_quantum_size(quanta=800),
+    ),
+    "abl_pipelining": (
+        "Ablation: header/body overlap (sections 5.2/6.5)",
+        lambda: ablations.run_pipelining(quanta=3000),
+        lambda: ablations.run_pipelining(quanta=800),
+    ),
+    "hol_voq": (
+        "Ch.2 claim: FIFO HOL limit vs VOQ/iSLIP vs OQ",
+        lambda: claims_ch2.run_hol_voq(slots=15000, warmup=1500),
+        lambda: claims_ch2.run_hol_voq(ports=(4, 16), slots=5000, warmup=500),
+    ),
+    "cells": (
+        "Ch.2 claim: fixed cells vs variable-length packets",
+        lambda: claims_ch2.run_cells_vs_packets(slots=25000),
+        lambda: claims_ch2.run_cells_vs_packets(slots=8000),
+    ),
+    "islip": (
+        "iSLIP/PIM convergence with iterations",
+        lambda: claims_ch2.run_islip_iterations(slots=12000, warmup=1200),
+        lambda: claims_ch2.run_islip_iterations(slots=4000, warmup=400),
+    ),
+    "fairness": (
+        "Section 5.4: starvation bound under a hotspot",
+        lambda: fairness_qos.run_fairness(quanta=4000),
+        lambda: fairness_qos.run_fairness(quanta=1200),
+    ),
+    "qos": (
+        "Section 8.7: weighted-token bandwidth shares",
+        lambda: fairness_qos.run_qos(quanta=6000),
+        lambda: fairness_qos.run_qos(quanta=2000),
+    ),
+    "multicast": (
+        "Section 8.6: fabric multicast vs ingress replication",
+        lambda: multicast_ext.run(quanta=3000),
+        lambda: multicast_ext.run(quanta=1000),
+    ),
+    "scaling": (
+        "Section 8.5: N-port scaling (neighbor vs antipodal)",
+        lambda: scaling.run(quanta=2000),
+        lambda: scaling.run(port_counts=(4, 8), quanta=600),
+    ),
+    "multichip": (
+        "Section 8.5: Clos of 4-port crossbars vs one big ring",
+        lambda: multichip.run(quanta=2000),
+        lambda: multichip.run(quanta=500),
+    ),
+    "lookup": (
+        "Section 8.2: route-lookup structures on a tile",
+        lambda: lookup_ext.run(table_sizes=(1000, 10000, 50000), lookups=2000),
+        lambda: lookup_ext.run(table_sizes=(1000,), lookups=600),
+    ),
+    "load_latency": (
+        "Extension: latency vs offered load (edge-router curve)",
+        lambda: load_latency.run(packets_per_port=400),
+        lambda: load_latency.run(loads=(0.3, 0.9), packets_per_port=120),
+    ),
+    "compute": (
+        "Section 8.3: computation inside the switch fabric",
+        lambda: compute_ext.run(quanta=2000),
+        lambda: compute_ext.run(quanta=600),
+    ),
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in REGISTRY)
+    for name, (desc, _, _) in REGISTRY.items():
+        print(f"{name:<{width}}  {desc}")
+    return 0
+
+
+def _cmd_run(names, quick: bool) -> int:
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use `python -m repro list`", file=sys.stderr)
+        return 2
+    for name in names:
+        _, full, fast = REGISTRY[name]
+        result = (fast if quick else full)()
+        print(result.to_text())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from the Raw router paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("names", nargs="+", help="experiment names (see `list`)")
+    run.add_argument("--quick", action="store_true", help="reduced budgets")
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.names, args.quick)
+    if args.command == "all":
+        return _cmd_run(list(REGISTRY), args.quick)
+    return 2  # pragma: no cover

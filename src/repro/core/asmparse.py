@@ -1,0 +1,101 @@
+"""Parse emitted switch assembly back into executable route instructions.
+
+The compile-time scheduler's third pass emits Raw-like switch listings
+(``route $cWi->$cNo, $cSi->$cEo  ; x203 steady``).  This module closes
+the loop: it parses those listings into
+:class:`~repro.raw.switchproc.RouteInstruction` streams bound to real
+channels, so the tests can *execute the generated code* and watch words
+take the routes chapter 6 scheduled -- the listings are programs, not
+documentation.
+
+The grammar is the subset the codegen emits::
+
+    line      := label | instr
+    label     := IDENT ':' [comment]
+    instr     := ('nop' | route-list) [comment]
+    route-list:= 'route' PORT '->' PORT (',' 'route' PORT '->' PORT)*
+    comment   := ';' ... [ 'xN' repeat annotation ] ...
+
+``j $swPC`` (return-to-dispatch) ends a configuration body.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Sequence
+
+from repro.raw.switchproc import RouteInstruction
+from repro.sim.channel import Channel
+
+#: Resolves a port mnemonic ("$cWi", "$csto", ...) to a channel.
+PortResolver = Callable[[str], Channel]
+
+_ROUTE_RE = re.compile(r"route\s+(\$\w+)\s*->\s*(\$\w+)")
+_REPEAT_RE = re.compile(r";.*?x(\d+)")
+_LABEL_RE = re.compile(r"^(\w+):")
+
+IN_PORTS = {"$cNi", "$cSi", "$cEi", "$cWi", "$csti"}
+OUT_PORTS = {"$cNo", "$cSo", "$cEo", "$cWo", "$csto"}
+
+
+class AsmParseError(ValueError):
+    """A listing line the switch grammar does not accept."""
+
+
+def parse_listing(
+    lines: Sequence[str], resolver: PortResolver
+) -> List[RouteInstruction]:
+    """Translate a config body into an executable instruction stream.
+
+    Labels are skipped; ``j`` ends the body; each instruction's repeat
+    count comes from its ``xN`` annotation (default 1).
+    """
+    program: List[RouteInstruction] = []
+    for raw in lines:
+        line = raw.strip()
+        if not line or _LABEL_RE.match(line):
+            continue
+        code = line.split(";", 1)[0].strip()
+        if code.startswith("j "):
+            break
+        repeat_match = _REPEAT_RE.search(line)
+        repeat = int(repeat_match.group(1)) if repeat_match else 1
+        if code == "nop" or code == "":
+            program.append(RouteInstruction(moves=(), repeat=max(repeat, 1)))
+            continue
+        moves = []
+        matched_spans = list(_ROUTE_RE.finditer(code))
+        if not matched_spans:
+            raise AsmParseError(f"unparseable switch line: {raw!r}")
+        # Everything outside the route matches must be separators.
+        leftover = _ROUTE_RE.sub("", code).replace(",", "").strip()
+        if leftover:
+            raise AsmParseError(f"trailing junk in switch line: {raw!r}")
+        for m in matched_spans:
+            src_name, dst_name = m.group(1), m.group(2)
+            if src_name not in IN_PORTS:
+                raise AsmParseError(f"{src_name} is not an input port in {raw!r}")
+            if dst_name not in OUT_PORTS:
+                raise AsmParseError(f"{dst_name} is not an output port in {raw!r}")
+            moves.append((resolver(src_name), resolver(dst_name)))
+        program.append(
+            RouteInstruction(moves=tuple(moves), repeat=max(repeat, 1))
+        )
+    return program
+
+
+def make_resolver(channels: Dict[str, Channel]) -> PortResolver:
+    """Resolver over an explicit mnemonic->channel table."""
+
+    def resolve(name: str) -> Channel:
+        try:
+            return channels[name]
+        except KeyError:
+            raise AsmParseError(f"no channel bound to port {name}") from None
+
+    return resolve
+
+
+def listing_word_counts(program: Sequence[RouteInstruction]) -> int:
+    """Total words a parsed body moves (static verification helper)."""
+    return sum(instr.words_moved for instr in program)

@@ -1,0 +1,241 @@
+"""Composing 4-port Rotating Crossbars into a bigger fabric (section 8.5).
+
+The thesis's scaling proposal: "one solution is simply to build a larger
+router out of multiple of these small 4-port routers, or at least out of
+multiple 4-port crossbars."  This module does exactly that: a
+three-stage Clos fabric whose every switching element is the paper's
+4-port Rotating Crossbar (token, clockwise-first ring paths and all),
+giving a 16-port router from twelve 4x4 crossbar chips.
+
+Why it matters: a single N-port ring is bisection-limited -- antipodal
+permutations cap near the 4-port aggregate no matter how large N grows
+(measured in :mod:`repro.experiments.scaling`).  The Clos composition
+restores full-bandwidth scaling for exactly those patterns, with
+adaptive middle-stage selection (a blocked head-of-line fragment retries
+through a different middle crossbar next quantum).
+
+Timing: stages advance in lockstep routing quanta priced by the same
+phase model; a fragment crosses three crossbars, so the pipeline is
+three quanta deep but each stage sustains its full rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.allocator import Allocator
+from repro.core.fabricsim import FabricStats, PortSource
+from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles
+from repro.core.ring import RingGeometry
+from repro.core.token import RotatingToken
+from repro.raw import costs
+
+
+@dataclass
+class _Frag:
+    dest: int  #: global output port
+    words: int
+    is_last: bool
+    retry: int = 0  #: middle-stage reselection counter
+
+
+class _Crossbar:
+    """One 4x4 Rotating Crossbar element with per-input FIFOs."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.ring = RingGeometry(size)
+        self.allocator = Allocator(self.ring)
+        self.token = RotatingToken(size)
+        self.queues: List[Deque[Tuple[_Frag, int]]] = [deque() for _ in range(size)]
+        # (fragment, local destination leg)
+
+    def step(self) -> Tuple[List[Tuple[int, _Frag]], int]:
+        """One quantum: returns ([(local output, fragment)], body cycles)."""
+        requests = tuple(
+            self.queues[i][0][1] if self.queues[i] else None for i in range(self.size)
+        )
+        if all(r is None for r in requests):
+            self.token.advance()
+            return [], 0
+        alloc = self.allocator.allocate(requests, self.token.master)
+        moved: List[Tuple[int, _Frag]] = []
+        body = 0
+        for grant in alloc.grants.values():
+            frag, leg = self.queues[grant.src].popleft()
+            body = max(body, frag.words + grant.expansion)
+            moved.append((leg, frag))
+        self.token.advance()
+        return moved, body
+
+    def occupancy(self, port: int) -> int:
+        return len(self.queues[port])
+
+
+class ClosFabric:
+    """A (k*k)-port router from 3k k-port Rotating Crossbars.
+
+    ``k = 4`` (the prototype's crossbar) gives 16 ports from 12 chips.
+    Global input ``g`` enters input crossbar ``g // k`` on leg ``g % k``;
+    middle crossbar ``m`` connects input crossbar ``i``'s leg ``m`` to
+    output crossbar ``o``'s middle leg; output crossbar ``o`` serves
+    global outputs ``o*k .. o*k+k-1``.
+    """
+
+    def __init__(
+        self,
+        k: int = 4,
+        timing: PhaseTiming = DEFAULT_TIMING,
+        max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
+        stage_queue_frags: int = 8,
+    ):
+        if k < 2:
+            raise ValueError("crossbar size must be >= 2")
+        self.k = k
+        self.num_ports = k * k
+        self.timing = timing
+        self.max_quantum_words = max_quantum_words
+        self.stage_queue_frags = stage_queue_frags
+        self.ingress = [_Crossbar(k) for _ in range(k)]
+        self.middle = [_Crossbar(k) for _ in range(k)]
+        self.egress = [_Crossbar(k) for _ in range(k)]
+
+    # ------------------------------------------------------------------
+    def _admit(self, port: int, source: PortSource) -> None:
+        """Refill a global input's crossbar FIFO from the source."""
+        xbar = self.ingress[port // self.k]
+        leg = port % self.k
+        if xbar.queues[leg]:
+            return
+        pkt = source(port)
+        if pkt is None:
+            return
+        dest, words = pkt
+        if not 0 <= dest < self.num_ports:
+            raise ValueError(f"destination {dest} out of range")
+        remaining = words
+        index = 0
+        count = (words + self.max_quantum_words - 1) // self.max_quantum_words
+        while remaining > 0:
+            q = min(remaining, self.max_quantum_words)
+            remaining -= q
+            frag = _Frag(dest=dest, words=q, is_last=index == count - 1)
+            # Middle selection: spread by destination, rotate on retry.
+            middle = (dest + frag.retry) % self.k
+            xbar.queues[leg].append((frag, middle))
+            index += 1
+
+    def _reselect_blocked(self) -> None:
+        """Adaptive routing: a head-of-line fragment stuck at an input
+        crossbar retries via the next middle crossbar."""
+        for xbar in self.ingress:
+            for leg in range(self.k):
+                if xbar.queues[leg]:
+                    frag, middle = xbar.queues[leg][0]
+                    frag.retry += 1
+                    xbar.queues[leg][0] = (frag, (frag.dest + frag.retry) % self.k)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        source: PortSource,
+        quanta: int,
+        warmup_quanta: int = 0,
+    ) -> FabricStats:
+        stats = FabricStats(num_ports=self.num_ports)
+        for q in range(quanta + warmup_quanta):
+            measuring = q >= warmup_quanta
+            for port in range(self.num_ports):
+                self._admit(port, source)
+
+            bodies = []
+            # Stage 3 first so stage queues drain before refilling
+            # (store-and-forward between stages, one quantum apart).
+            deliveries: List[Tuple[int, _Frag]] = []
+            for o, xbar in enumerate(self.egress):
+                moved, body = xbar.step()
+                bodies.append(body)
+                for leg, frag in moved:
+                    deliveries.append((o * self.k + leg, frag))
+            # Stage 2: middles feed egress crossbars.
+            for m, xbar in enumerate(self.middle):
+                moved, body = xbar.step()
+                bodies.append(body)
+                for out_xbar, frag in moved:
+                    eg = self.egress[out_xbar]
+                    leg = frag.dest % self.k
+                    if eg.occupancy(m) < self.stage_queue_frags:
+                        eg.queues[m].append((frag, leg))
+                    else:  # back-pressure: requeue at the middle head
+                        xbar.queues[out_xbar].appendleft((frag, out_xbar))
+            # Stage 1: ingress crossbars feed middles.
+            any_blocked = False
+            for i, xbar in enumerate(self.ingress):
+                pre = [len(qq) for qq in xbar.queues]
+                moved, body = xbar.step()
+                bodies.append(body)
+                for middle_idx, frag in moved:
+                    mid = self.middle[middle_idx]
+                    out_xbar = frag.dest // self.k
+                    if mid.occupancy(i) < self.stage_queue_frags:
+                        mid.queues[i].append((frag, out_xbar))
+                    else:
+                        xbar.queues[middle_idx].appendleft((frag, middle_idx))
+                post = [len(qq) for qq in xbar.queues]
+                if pre == post and any(pre):
+                    any_blocked = True
+            if any_blocked:
+                self._reselect_blocked()
+
+            duration = (
+                self.timing.control_total + max(bodies)
+                if any(bodies)
+                else idle_quantum_cycles(self.timing)
+            )
+            if measuring:
+                stats.quanta += 1
+                stats.cycles += duration
+                for port, frag in deliveries:
+                    stats.delivered_words += frag.words
+                    stats.per_port_words[port] += frag.words
+                    if frag.is_last:
+                        stats.delivered_packets += 1
+                        stats.per_port_packets[port] += 1
+        return stats
+
+
+def clos_vs_single_ring(
+    num_ports: int = 16,
+    words: int = 256,
+    quanta: int = 2000,
+    shift: Optional[int] = None,
+) -> Tuple[float, float]:
+    """(single-ring Gbps, Clos Gbps) under a shift permutation.
+
+    The headline comparison of the composition experiment: antipodal
+    shift on one big ring vs. the same traffic through composed 4-port
+    crossbars.
+    """
+    from repro.core.fabricsim import FabricSimulator, saturated_permutation
+
+    if shift is None:
+        shift = num_ports // 2
+    ring = RingGeometry(num_ports)
+    single = FabricSimulator(ring=ring, allocator=Allocator(ring), token=RotatingToken(num_ports))
+    ring_stats = single.run(
+        saturated_permutation(words, shift=shift, n=num_ports),
+        quanta=quanta,
+        warmup_quanta=quanta // 10,
+    )
+    k = int(round(num_ports ** 0.5))
+    if k * k != num_ports:
+        raise ValueError("Clos composition needs a square port count")
+    clos = ClosFabric(k=k)
+    clos_stats = clos.run(
+        saturated_permutation(words, shift=shift, n=num_ports),
+        quanta=quanta,
+        warmup_quanta=quanta // 10,
+    )
+    return ring_stats.gbps, clos_stats.gbps

@@ -1,0 +1,205 @@
+"""Configuration space of the Rotating Crossbar (thesis chapter 6).
+
+The naive space is every combination of the four packet headers (each an
+output port or "empty") and the token position:
+
+    SPACE = |Hdr|^4 x |Token| = 5^4 x 4 = 2,500
+
+which leaves 8,192 / 2,500 ~= 3.3 switch instructions per configuration
+-- far too few (section 6.1).  The minimization of section 6.2 changes
+viewpoint: instead of global (headers, token) tuples, enumerate each
+Crossbar Processor's *local* configuration -- which client feeds each of
+its three servers (out, cwnext, ccwnext; Table 6.1), together with the
+expansion number.  Only a few dozen distinct local configurations are
+reachable (we measure 27; the thesis reports 32 with a ~78x reduction --
+see EXPERIMENTS.md for the comparison), and that is the set the
+compile-time scheduler generates switch code for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.allocator import Allocation, Allocator, Request
+from repro.core.ring import CW, RingGeometry
+
+#: Header value for "input queue empty" (the fifth header value of |Hdr|=5).
+EMPTY: Request = None
+
+#: Client names of Table 6.1: what can feed a server link.
+CLIENT_NONE = None
+CLIENT_IN = "in"
+CLIENT_CWPREV = "cwprev"
+CLIENT_CCWPREV = "ccwprev"
+CLIENTS = (CLIENT_NONE, CLIENT_IN, CLIENT_CWPREV, CLIENT_CCWPREV)
+
+#: Server names of Table 6.1.
+SERVERS = ("out", "cwnext", "ccwnext")
+
+
+@dataclass(frozen=True, order=True)
+class GlobalConfig:
+    """One point of the naive configuration space."""
+
+    headers: Tuple[Request, ...]
+    token: int
+
+
+@dataclass(frozen=True, order=True)
+class LocalConfig:
+    """One Crossbar Processor's behaviour for a quantum (Table 6.1 form).
+
+    ``out_src`` / ``cwnext_src`` / ``ccwnext_src`` name the client feeding
+    each server (or None for an idle server); ``expansion`` is the
+    largest source-to-here ring distance over the flows this tile serves
+    (how deep its switch code must software-pipeline).  The thesis also
+    records "a special boolean value ... set to TRUE in case an Ingress
+    Processor can not send"; that flag is per-quantum derived state (it
+    lives on :attr:`repro.core.allocator.Allocation.blocked`), not part
+    of the configuration identity the switch code is generated from.
+    """
+
+    out_src: Optional[str]
+    cwnext_src: Optional[str]
+    ccwnext_src: Optional[str]
+    expansion: int
+
+    def servers_in_use(self) -> int:
+        return sum(
+            s is not None
+            for s in (self.out_src, self.cwnext_src, self.ccwnext_src)
+        )
+
+    def clients_in_use(self) -> Tuple[str, ...]:
+        used = {
+            s
+            for s in (self.out_src, self.cwnext_src, self.ccwnext_src)
+            if s is not None
+        }
+        return tuple(sorted(used))
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of the section-6.2 configuration-space minimization."""
+
+    num_ports: int
+    global_size: int  #: |Hdr|^N x |Token|
+    reachable_global: int  #: distinct reachable allocations
+    local_configs: List[LocalConfig]  #: the minimized, deduplicated set
+    usage: Dict[LocalConfig, int]  #: occurrences across the global walk
+
+    @property
+    def minimized_size(self) -> int:
+        return len(self.local_configs)
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.global_size / self.minimized_size
+
+    def instructions_per_config(self, imem_words: int) -> float:
+        """IMEM budget per configuration before/after (thesis: ~3.3)."""
+        return imem_words / self.minimized_size
+
+    def config_id(self, cfg: LocalConfig) -> int:
+        return self._ids[cfg]
+
+    def __post_init__(self):
+        self._ids = {cfg: i for i, cfg in enumerate(self.local_configs)}
+
+
+class ConfigurationSpace:
+    """Enumeration and minimization over an N-port ring."""
+
+    def __init__(self, ring: RingGeometry, allocator: Optional[Allocator] = None):
+        self.ring = ring
+        self.allocator = allocator or Allocator(ring)
+
+    # ------------------------------------------------------------------
+    def global_size(self) -> int:
+        """|Hdr|^N x |Token| (2,500 for the 4-port prototype)."""
+        n = self.ring.n
+        return (n + 1) ** n * n
+
+    def enumerate_global(self) -> Iterator[GlobalConfig]:
+        """Every (headers, token) point, in lexicographic order."""
+        n = self.ring.n
+        header_values: Tuple[Request, ...] = (EMPTY,) + tuple(range(n))
+        for headers in product(header_values, repeat=n):
+            for token in range(n):
+                yield GlobalConfig(headers=headers, token=token)
+
+    # ------------------------------------------------------------------
+    def local_configs_for(self, alloc: Allocation) -> Tuple[LocalConfig, ...]:
+        """Project a global allocation onto per-tile local configurations."""
+        n = self.ring.n
+        out: List[LocalConfig] = []
+        for tile in range(n):
+            out.append(self._local_config(alloc, tile))
+        return tuple(out)
+
+    def _local_config(self, alloc: Allocation, tile: int) -> LocalConfig:
+        out_src = cw_src = ccw_src = None
+        expansion = 0
+        for grant in alloc.grants.values():
+            path = grant.path
+            # Does this grant feed tile's "out" server?
+            if grant.dst == tile:
+                if grant.src == tile:
+                    out_src = CLIENT_IN
+                elif path.direction == CW:
+                    out_src = CLIENT_CWPREV
+                else:
+                    out_src = CLIENT_CCWPREV
+                expansion = max(expansion, self.ring.expansion(path, tile))
+            # Does it occupy tile's cwnext / ccwnext ring segments?
+            for link in path.links:
+                if link.network != 1:
+                    continue  # local configs are defined on network 1
+                if link.index != tile:
+                    continue
+                src = CLIENT_IN if grant.src == tile else (
+                    CLIENT_CWPREV if link.kind == CW else CLIENT_CCWPREV
+                )
+                if link.kind == CW:
+                    cw_src = src
+                else:
+                    ccw_src = src
+                expansion = max(expansion, self.ring.expansion(path, tile))
+        return LocalConfig(
+            out_src=out_src,
+            cwnext_src=cw_src,
+            ccwnext_src=ccw_src,
+            expansion=expansion,
+        )
+
+    # ------------------------------------------------------------------
+    def minimize(self) -> MinimizationResult:
+        """Walk the full global space; collect distinct local configs."""
+        usage: Dict[LocalConfig, int] = {}
+        reachable = set()
+        for gc in self.enumerate_global():
+            alloc = self.allocator.allocate(gc.headers, gc.token)
+            key = tuple(sorted((g.src, g.dst, g.path.direction) for g in alloc.grants.values()))
+            reachable.add(key)
+            for cfg in self.local_configs_for(alloc):
+                usage[cfg] = usage.get(cfg, 0) + 1
+        def sort_key(c: LocalConfig):
+            return (
+                -usage[c],
+                c.out_src or "",
+                c.cwnext_src or "",
+                c.ccwnext_src or "",
+                c.expansion,
+            )
+
+        ordered = sorted(usage, key=sort_key)
+        return MinimizationResult(
+            num_ports=self.ring.n,
+            global_size=self.global_size(),
+            reachable_global=len(reachable),
+            local_configs=ordered,
+            usage=usage,
+        )

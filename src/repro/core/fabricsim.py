@@ -1,0 +1,246 @@
+"""Quantum-level fabric simulator: the allocator driven over time.
+
+This is the lightweight engine behind the fabric-only experiments
+(average throughput, fairness, scaling, second-network and quantum-size
+ablations): no kernel processes, just the Rotating Crossbar's quantum
+loop -- poll head-of-line requests, run the allocation rule, advance the
+clock by the quantum's phase cost, deliver fragments, rotate the token.
+The full router model (:mod:`repro.router`) layers ingress/lookup/egress
+pipelines on top; for saturated inputs both models agree on throughput
+(cross-checked in tests) because the fabric is the bottleneck stage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.core.allocator import Allocation, Allocator
+from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles, quantum_cycles
+from repro.core.ring import RingGeometry
+from repro.core.token import RotatingToken
+from repro.raw import costs
+
+#: A port source: called when the port's input queue is empty; returns
+#: (destination port, packet words) or None for "no packet right now".
+PortSource = Callable[[int], Optional[Tuple[int, int]]]
+
+
+@dataclass
+class _HolFragment:
+    dest: int
+    words: int
+    is_last: bool
+    packet_words: int  #: total words of the parent packet
+
+
+@dataclass
+class FabricStats:
+    """Aggregate counters from a fabric run."""
+
+    num_ports: int
+    quanta: int = 0
+    idle_quanta: int = 0
+    cycles: int = 0
+    delivered_words: int = 0
+    delivered_packets: int = 0
+    per_port_words: List[int] = field(default_factory=list)
+    per_port_packets: List[int] = field(default_factory=list)
+    blocked_events: int = 0
+    grant_histogram: List[int] = field(default_factory=list)  #: index = #grants
+
+    def __post_init__(self):
+        if not self.per_port_words:
+            self.per_port_words = [0] * self.num_ports
+        if not self.per_port_packets:
+            self.per_port_packets = [0] * self.num_ports
+        if not self.grant_histogram:
+            self.grant_histogram = [0] * (self.num_ports + 1)
+
+    @property
+    def gbps(self) -> float:
+        """Aggregate delivered throughput at the Raw clock."""
+        if self.cycles == 0:
+            return 0.0
+        return costs.gbps(self.delivered_words * costs.WORD_BITS, self.cycles)
+
+    @property
+    def mpps(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return costs.mpps(self.delivered_packets, self.cycles)
+
+    @property
+    def words_per_cycle(self) -> float:
+        return self.delivered_words / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_grants_per_quantum(self) -> float:
+        total = sum(i * c for i, c in enumerate(self.grant_histogram))
+        n = sum(self.grant_histogram)
+        return total / n if n else 0.0
+
+
+class FabricSimulator:
+    """Drives the Rotating Crossbar over saturated or stochastic inputs.
+
+    Parameters
+    ----------
+    ring, allocator, token:
+        The fabric under test; defaults build the plain 4-port setup.
+    max_quantum_words:
+        Fragmentation threshold (thesis section 4.3): packets longer
+        than this cross the crossbar in multiple quanta.
+    timing, pipelined:
+        Phase cost model knobs (see :mod:`repro.core.phases`).
+    keep_history:
+        Record (requests, allocation) per quantum for fairness analysis
+        (costs memory; leave off for long throughput runs).
+    """
+
+    def __init__(
+        self,
+        ring: Optional[RingGeometry] = None,
+        allocator: Optional[Allocator] = None,
+        token: Optional[RotatingToken] = None,
+        max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
+        timing: PhaseTiming = DEFAULT_TIMING,
+        pipelined: bool = True,
+        keep_history: bool = False,
+    ):
+        self.ring = ring or RingGeometry(4)
+        self.allocator = allocator or Allocator(self.ring)
+        self.token = token or RotatingToken(self.ring.n)
+        if max_quantum_words < 1:
+            raise ValueError("max_quantum_words must be >= 1")
+        self.max_quantum_words = max_quantum_words
+        self.timing = timing
+        self.pipelined = pipelined
+        self.keep_history = keep_history
+        self.history: List[Tuple[Tuple[Optional[int], ...], Allocation]] = []
+        self._queues: List[Deque[_HolFragment]] = [
+            deque() for _ in range(self.ring.n)
+        ]
+
+    # ------------------------------------------------------------------
+    def _refill(self, port: int, source: PortSource) -> None:
+        if self._queues[port]:
+            return
+        pkt = source(port)
+        if pkt is None:
+            return
+        dest, words = pkt
+        if words < 1:
+            raise ValueError("packet must have at least one word")
+        remaining = words
+        while remaining > 0:
+            q = min(remaining, self.max_quantum_words)
+            remaining -= q
+            self._queues[port].append(
+                _HolFragment(dest=dest, words=q, is_last=remaining == 0, packet_words=words)
+            )
+
+    def run(
+        self,
+        source: PortSource,
+        quanta: Optional[int] = None,
+        min_packets: Optional[int] = None,
+        warmup_quanta: int = 0,
+    ) -> FabricStats:
+        """Run until ``quanta`` quanta elapse or ``min_packets`` deliver.
+
+        ``warmup_quanta`` initial quanta are simulated but excluded from
+        the returned statistics (queues reach steady state first).
+        """
+        if quanta is None and min_packets is None:
+            raise ValueError("need a stopping condition")
+        stats = FabricStats(num_ports=self.ring.n)
+        done = 0
+        while True:
+            if quanta is not None and done >= quanta + warmup_quanta:
+                break
+            if (
+                min_packets is not None
+                and stats.delivered_packets >= min_packets
+                and done >= warmup_quanta
+            ):
+                break
+            measuring = done >= warmup_quanta
+            self._step(source, stats if measuring else None)
+            done += 1
+        return stats
+
+    def _step(self, source: PortSource, stats: Optional[FabricStats]) -> None:
+        n = self.ring.n
+        for port in range(n):
+            self._refill(port, source)
+        requests = tuple(
+            self._queues[p][0].dest if self._queues[p] else None for p in range(n)
+        )
+        if all(r is None for r in requests):
+            if stats:
+                stats.quanta += 1
+                stats.idle_quanta += 1
+                stats.cycles += idle_quantum_cycles(self.timing)
+            self.token.advance()
+            return
+        alloc = self.allocator.allocate(requests, self.token.master)
+        body = 0
+        for grant in alloc.grants.values():
+            frag = self._queues[grant.src][0]
+            body = max(body, frag.words + grant.expansion)
+        duration = quantum_cycles(0, 0, self.timing, self.pipelined) + body
+        if self.keep_history:
+            self.history.append((requests, alloc))
+        if stats:
+            stats.quanta += 1
+            stats.cycles += duration
+            stats.blocked_events += len(alloc.blocked)
+            stats.grant_histogram[alloc.num_granted] += 1
+        for grant in alloc.grants.values():
+            frag = self._queues[grant.src].popleft()
+            if stats:
+                stats.delivered_words += frag.words
+                stats.per_port_words[grant.src] += frag.words
+                if frag.is_last:
+                    stats.delivered_packets += 1
+                    stats.per_port_packets[grant.src] += 1
+        self.token.advance()
+
+
+# ---------------------------------------------------------------------------
+# Canned sources for the common workloads.
+# ---------------------------------------------------------------------------
+def saturated_permutation(words: int, shift: int = 2, n: int = 4) -> PortSource:
+    """Conflict-free peak workload: port i always sends to (i+shift) mod n."""
+
+    def source(port: int) -> Tuple[int, int]:
+        return ((port + shift) % n, words)
+
+    return source
+
+
+def saturated_uniform(words: int, rng, n: int = 4, exclude_self: bool = False) -> PortSource:
+    """Uniform iid destinations (the thesis's "complete fairness" traffic)."""
+
+    def source(port: int) -> Tuple[int, int]:
+        while True:
+            dest = int(rng.integers(0, n))
+            if not exclude_self or dest != port:
+                return (dest, words)
+
+    return source
+
+
+def saturated_hotspot(words: int, rng, hot: int = 0, p_hot: float = 0.7, n: int = 4) -> PortSource:
+    """All inputs prefer one output with probability ``p_hot``."""
+    if not 0.0 <= p_hot <= 1.0:
+        raise ValueError("p_hot must be a probability")
+
+    def source(port: int) -> Tuple[int, int]:
+        if rng.random() < p_hot:
+            return (hot, words)
+        return (int(rng.integers(0, n)), words)
+
+    return source

@@ -1,0 +1,187 @@
+"""Multicast in the Rotating Crossbar (thesis section 8.6).
+
+The extension the thesis sketches: "allowing a single Ingress Processor
+to send data to several Egress Processors simultaneously."  A static
+switch can fan one incoming word out to several crossbar directions in
+the same cycle, so a single clockwise (or counterclockwise) pass can
+drop copies at every requested egress it passes -- the fabric replicates
+cells instead of the ingress, exactly the fanout-splitting argument the
+thesis quotes from McKeown for the GSR (section 2.2.2).
+
+:class:`MulticastAllocator` extends the token rule: in priority order,
+each input with a multicast head-of-line fragment claims, along each
+ring direction in turn, the longest prefix of free segments, serving
+every still-unclaimed requested output it reaches.  Unserved leaves stay
+in the request (fanout splitting) and are retried next quantum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.ring import CCW, CW, Link, Path, RingGeometry
+
+#: A multicast request: the set of output ports still to be served.
+MulticastRequest = Optional[FrozenSet[int]]
+
+
+@dataclass(frozen=True)
+class MulticastGrant:
+    """One input's (possibly partial) multicast service for a quantum."""
+
+    src: int
+    served: FrozenSet[int]  #: outputs covered this quantum
+    paths: Tuple[Path, ...]  #: one per direction used (cw and/or ccw)
+
+    @property
+    def expansion(self) -> int:
+        return max((p.hops for p in self.paths), default=0)
+
+    @property
+    def copies(self) -> int:
+        return len(self.served)
+
+
+@dataclass
+class MulticastAllocation:
+    token: int
+    requests: Tuple[MulticastRequest, ...]
+    grants: Dict[int, MulticastGrant] = field(default_factory=dict)
+    blocked: Set[int] = field(default_factory=set)
+    used_links: Set[Link] = field(default_factory=set)
+
+    @property
+    def total_copies(self) -> int:
+        return sum(g.copies for g in self.grants.values())
+
+    @property
+    def max_expansion(self) -> int:
+        return max((g.expansion for g in self.grants.values()), default=0)
+
+    def is_conflict_free(self) -> bool:
+        outputs: Set[int] = set()
+        links: Set[Link] = set()
+        for g in self.grants.values():
+            if outputs & g.served:
+                return False
+            outputs |= g.served
+            for p in g.paths:
+                for link in p.links:
+                    if link in links:
+                        return False
+                    links.add(link)
+        return True
+
+
+class MulticastAllocator:
+    """Token-ordered multicast allocation with fanout splitting."""
+
+    def __init__(self, ring: RingGeometry):
+        self.ring = ring
+
+    def allocate(
+        self, requests: Sequence[MulticastRequest], token: int
+    ) -> MulticastAllocation:
+        n = self.ring.n
+        if len(requests) != n:
+            raise ValueError(f"expected {n} requests, got {len(requests)}")
+        alloc = MulticastAllocation(token=token, requests=tuple(requests))
+        claimed: Set[int] = set()
+        used: Set[Link] = alloc.used_links
+        for offset in range(n):
+            src = (token + offset) % n
+            want = requests[src]
+            if want is None:
+                continue
+            if not want:
+                raise ValueError(f"input {src}: empty multicast set")
+            pending = set(want) - claimed
+            if not pending:
+                alloc.blocked.add(src)
+                continue
+            served: Set[int] = set()
+            paths: List[Path] = []
+            # Self-destination needs no ring links at all.
+            if src in pending:
+                served.add(src)
+                pending.discard(src)
+            # Assign each leaf its shorter ring direction (clockwise on
+            # ties, the unicast rule) so the sweep stays link-frugal and
+            # leaves segments for downstream inputs.
+            assignment: Dict[str, Set[int]] = {CW: set(), CCW: set()}
+            for dst in pending:
+                if self.ring.cw_distance(src, dst) <= self.ring.ccw_distance(src, dst):
+                    assignment[CW].add(dst)
+                else:
+                    assignment[CCW].add(dst)
+            for direction in (CW, CCW):
+                got = self._sweep(src, direction, assignment[direction], used)
+                if got is None:
+                    continue
+                path, covered = got
+                paths.append(path)
+                served |= covered
+                pending -= covered
+            # Fallback: leaves whose short direction was blocked may be
+            # reachable the long way around, if that side is unused.
+            for direction in (CW, CCW):
+                if not pending:
+                    break
+                if any(p.direction == direction for p in paths):
+                    continue
+                got = self._sweep(src, direction, pending, used)
+                if got is None:
+                    continue
+                path, covered = got
+                paths.append(path)
+                served |= covered
+                pending -= covered
+            if not served:
+                alloc.blocked.add(src)
+                continue
+            claimed |= served
+            for p in paths:
+                used.update(p.links)
+            for dst in served:
+                used.add(Link("out", dst))
+            used.add(Link("in", src))
+            alloc.grants[src] = MulticastGrant(
+                src=src, served=frozenset(served), paths=tuple(paths)
+            )
+        return alloc
+
+    def _sweep(
+        self, src: int, direction: str, pending: Set[int], used: Set[Link]
+    ) -> Optional[Tuple[Path, Set[int]]]:
+        """Longest free-segment prefix from ``src`` in ``direction``;
+        returns the path to the farthest served output plus the covered set."""
+        if not pending:
+            return None
+        n = self.ring.n
+        covered: Set[int] = set()
+        farthest = 0
+        node = src
+        for step in range(1, n):
+            link = (
+                Link(CW, node) if direction == CW else Link(CCW, node)
+            )
+            if link in used:
+                break
+            node = (node + 1) % n if direction == CW else (node - 1) % n
+            if node in pending:
+                covered.add(node)
+                farthest = step
+        if not covered:
+            return None
+        # Trim the path at the farthest output actually served.
+        dst = (src + farthest) % n if direction == CW else (src - farthest) % n
+        return self.ring.path(src, dst, direction), covered
+
+
+def ingress_replication_quanta(fanout: int) -> int:
+    """Quanta a unicast-only fabric needs for the same fanout (the
+    baseline the multicast experiment compares against)."""
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    return fanout

@@ -1,0 +1,96 @@
+"""Per-quantum phase timing (thesis Fig 6-2 and section 6.5).
+
+One routing quantum runs through: *headers-request* (the tile processor
+asks its ingress for the next header), *headers send/recv*, the
+*header exchange* around the ring (after which every Crossbar Processor
+knows all four headers), *choose_new_config* (index the jump table, load
+the switch program counter), the *route_body* streaming phase, and the
+switch->processor *confirm* handshake.  Header processing of packet
+``k+1`` is overlapped with body streaming of packet ``k`` (section 5.2),
+so the steady-state cost of a quantum is the non-overlapped control
+(:data:`repro.raw.costs.QUANTUM_CTL_OVERHEAD`) plus the body:
+``words + expansion``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.raw import costs
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Cycle budget of each control phase (defaults sum to the calibrated
+    :data:`~repro.raw.costs.QUANTUM_CTL_OVERHEAD`)."""
+
+    headers_request: int = 4
+    headers_send: int = 8  #: 2 header words over the in-link, send + recv
+    headers_exchange: int = 24  #: N-1 = 3 ring rounds x 2 words x (send+recv)
+    choose_config: int = 8  #: jump-table address compute + load switch PC
+    confirm: int = 4  #: switch->processor end-of-body handshake
+
+    @property
+    def control_total(self) -> int:
+        return (
+            self.headers_request
+            + self.headers_send
+            + self.headers_exchange
+            + self.choose_config
+            + self.confirm
+        )
+
+
+DEFAULT_TIMING = PhaseTiming()
+assert DEFAULT_TIMING.control_total == costs.QUANTUM_CTL_OVERHEAD
+
+
+def quantum_cycles(
+    words: int,
+    expansion: int = 0,
+    timing: PhaseTiming = DEFAULT_TIMING,
+    pipelined: bool = True,
+) -> int:
+    """Total cycles for a routing quantum moving ``words`` per grant.
+
+    ``expansion`` is the largest ring distance among the quantum's
+    grants (the last word arrives that many cycles after the source's
+    last send).  ``pipelined=False`` models the naive non-overlapped
+    implementation, where the per-packet ingress header work and route
+    lookup serialize with the fabric instead of hiding under the previous
+    body -- the ablation of the section 5.2/6.5 pipelining claim.
+    """
+    if words < 0 or expansion < 0:
+        raise ValueError("words and expansion must be non-negative")
+    body = words + expansion
+    cycles = timing.control_total + body
+    if not pipelined:
+        cycles += costs.INGRESS_HEADER_CYCLES + costs.LOOKUP_CYCLES
+    return cycles
+
+
+def idle_quantum_cycles(timing: PhaseTiming = DEFAULT_TIMING) -> int:
+    """Cost of a quantum in which no input transmits: the control phases
+    still run (headers are exchanged, all empty), then the token advances."""
+    return timing.control_total
+
+
+def peak_gbps(packet_bytes: int, num_ports: int = 4) -> float:
+    """Closed-form peak throughput of the phase model (conflict-free
+    traffic, every port streaming every quantum).
+
+    Used by the calibration test: Fig 7-1's 1,024-byte point should come
+    out within a few percent of 26.9 Gbps.
+    """
+    words = costs.bytes_to_words(packet_bytes)
+    expansion = num_ports // 2  # worst-case ring distance under permutation
+    from repro.raw.costs import MAX_QUANTUM_WORDS
+
+    total_cycles = 0
+    remaining = words
+    while remaining > 0:
+        q = min(remaining, MAX_QUANTUM_WORDS)
+        total_cycles += quantum_cycles(q, expansion)
+        remaining -= q
+    bits = packet_bytes * 8
+    return num_ports * costs.gbps(bits, total_cycles)

@@ -1,0 +1,78 @@
+"""The rotating token: fairness by construction.
+
+The token "denotes the ultimate right of a Crossbar Processor to connect
+its respective Ingress Processor to any of the Egress Processors"
+(section 5.1).  It is not passed as a message -- each Crossbar Processor
+keeps a synchronous local counter and all counters advance in lockstep at
+quantum boundaries; :class:`RotatingToken` is that counter.
+
+:class:`WeightedToken` is the weighted-round-robin variant the thesis
+proposes for QoS (sections 5.4 and 8.7): port ``i`` holds mastership for
+``weights[i]`` consecutive quanta per rotation, shifting bandwidth shares
+under contention without touching the allocation rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class RotatingToken:
+    """Plain token: mastership rotates one port per quantum."""
+
+    def __init__(self, num_ports: int, start: int = 0):
+        if num_ports < 1:
+            raise ValueError("need at least one port")
+        if not 0 <= start < num_ports:
+            raise ValueError("start port out of range")
+        self.n = num_ports
+        self._master = start
+        self.rotations = 0
+
+    @property
+    def master(self) -> int:
+        return self._master
+
+    def advance(self) -> int:
+        """Move mastership to the next downstream port; returns new master."""
+        self._master = (self._master + 1) % self.n
+        self.rotations += 1
+        return self._master
+
+    def priority_order(self) -> List[int]:
+        """Ports in decreasing priority for the current quantum."""
+        return [(self._master + k) % self.n for k in range(self.n)]
+
+    def max_wait_quanta(self) -> int:
+        """Worst-case quanta before a backlogged port is master again."""
+        return self.n - 1
+
+
+class WeightedToken(RotatingToken):
+    """Weighted rotation: port ``i`` is master ``weights[i]`` quanta per cycle."""
+
+    def __init__(self, weights: Sequence[int], start: int = 0):
+        weights = list(weights)
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 1 for w in weights):
+            raise ValueError("all weights must be >= 1 (use 1 for best effort)")
+        super().__init__(len(weights), start=start)
+        self.weights = weights
+        self._remaining = weights[start]
+
+    def advance(self) -> int:
+        self._remaining -= 1
+        if self._remaining <= 0:
+            self._master = (self._master + 1) % self.n
+            self._remaining = self.weights[self._master]
+            self.rotations += 1
+        return self._master
+
+    def max_wait_quanta(self) -> int:
+        """Worst-case quanta before a port regains mastership."""
+        return sum(self.weights) - min(self.weights)
+
+    def share(self, port: int) -> float:
+        """Nominal mastership share of ``port``."""
+        return self.weights[port] / sum(self.weights)

@@ -1,0 +1,29 @@
+"""Experiment harness: one module per paper table/figure + extensions.
+
+Every module exposes a ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows pair the
+measured value with the paper's reference number (from
+:mod:`repro.experiments.paperdata`).  The pytest-benchmark files under
+``benchmarks/`` are thin wrappers over these functions, so the printed
+tables regenerate the thesis's evaluation artifacts:
+
+==================  =====================================================
+fig7_1              Peak / average throughput vs packet size vs Click
+fig7_3              Per-tile utilization timelines (word-level model)
+table6_1            Configuration space size + minimization
+fig5_1              The worked allocation example of Fig 5-1
+ablations           Second static network, quantum size, pipelining
+claims_ch2          HOL vs VOQ/iSLIP, cells vs variable-length packets
+scaling             N-port rotating crossbar (section 8.5)
+multichip           Clos of 4-port crossbars vs one big ring (8.5)
+fairness_qos        Starvation bound + weighted-token QoS (5.4, 8.7)
+multicast_ext       Fabric multicast vs ingress replication (8.6)
+lookup_ext          Route-lookup structures + non-blocking reads (8.2)
+compute_ext         Computation in the fabric (8.3)
+load_latency        Latency vs offered load (extension figure)
+==================  =====================================================
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

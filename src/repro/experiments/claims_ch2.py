@@ -1,0 +1,106 @@
+"""Chapter 2's quantitative claims, reproduced on the baseline switches.
+
+1. A FIFO input-queued crossbar is HOL-limited to ~58.6% under saturated
+   uniform traffic; VOQ + iSLIP recovers ~100% (section 2.2.2 / McKeown).
+2. iSLIP converges in a few iterations (the "quickly converge on a
+   conflict-free match" property).
+3. Variable-length packets across the backplane cap utilization near
+   60%; fixed-size cells restore ~100% (the "why fixed length packets"
+   argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cells import CellModeBackplane, PacketModeBackplane
+from repro.baselines.cellsim import FIFOSwitch, OutputQueuedSwitch, VOQSwitch
+from repro.baselines.schedulers import PIMScheduler, iSLIPScheduler
+from repro.experiments import paperdata
+from repro.experiments.common import ExperimentResult
+from repro.traffic.sizes import BimodalSizes
+
+
+def run_hol_voq(
+    ports=(4, 8, 16), slots: int = 20000, warmup: int = 2000, seed: int = 1
+) -> ExperimentResult:
+    """FIFO vs VOQ/iSLIP vs ideal OQ at saturation."""
+    result = ExperimentResult(
+        name="claim_hol_voq",
+        description="Saturated uniform throughput: FIFO (HOL) vs VOQ/iSLIP vs OQ",
+    )
+    for n in ports:
+        rng = np.random.default_rng(seed)
+        fifo = FIFOSwitch(n, rng).run(slots, load=1.0, warmup=warmup)
+        rng = np.random.default_rng(seed)
+        voq = VOQSwitch(n, iSLIPScheduler(n, iterations=4), rng).run(
+            slots, load=1.0, warmup=warmup
+        )
+        rng = np.random.default_rng(seed)
+        oq = OutputQueuedSwitch(n, rng).run(slots, load=1.0, warmup=warmup)
+        result.add(
+            f"fifo_N{n}",
+            fifo.throughput,
+            paperdata.HOL_THROUGHPUT if n >= 16 else None,
+        )
+        result.add(f"voq_islip_N{n}", voq.throughput, paperdata.VOQ_THROUGHPUT)
+        result.add(f"output_queued_N{n}", oq.throughput, 1.0)
+    result.notes = (
+        "HOL limit 2-sqrt(2)~=0.586 is the large-N asymptote; small N "
+        "saturates a little higher (N=4 ~0.66)."
+    )
+    return result
+
+
+def run_islip_iterations(
+    n: int = 16, slots: int = 15000, warmup: int = 1500, seed: int = 2
+) -> ExperimentResult:
+    """Throughput and delay vs scheduler iterations (iSLIP vs PIM)."""
+    result = ExperimentResult(
+        name="claim_islip_iters",
+        description="iSLIP/PIM convergence with iterations (N=16, load 0.95)",
+    )
+    for iterations in (1, 2, 4):
+        rng = np.random.default_rng(seed)
+        islip = VOQSwitch(n, iSLIPScheduler(n, iterations), rng).run(
+            slots, load=0.95, warmup=warmup
+        )
+        rng = np.random.default_rng(seed)
+        pim = VOQSwitch(n, PIMScheduler(n, iterations, np.random.default_rng(seed)), rng).run(
+            slots, load=0.95, warmup=warmup
+        )
+        result.add(f"islip_{iterations}it_delay", islip.mean_delay)
+        result.add(f"pim_{iterations}it_delay", pim.mean_delay)
+        result.add(f"islip_{iterations}it_tput", islip.throughput)
+    return result
+
+
+def run_cells_vs_packets(
+    n: int = 8, slots: int = 30000, seed: int = 2
+) -> ExperimentResult:
+    """Fixed cells vs variable-length packets across the backplane."""
+    result = ExperimentResult(
+        name="claim_cells",
+        description="Backplane utilization: fixed cells vs variable-length packets",
+    )
+    rng = np.random.default_rng(seed)
+    sizes = BimodalSizes(rng, small=64, large=1024, p_small=0.5)
+    cell = CellModeBackplane(n, sizes, rng, iSLIPScheduler(n, iterations=4))
+    cell.BACKLOG = 16
+    cell_res = cell.run(slots)
+    rng = np.random.default_rng(seed)
+    sizes = BimodalSizes(rng, small=64, large=1024, p_small=0.5)
+    pkt_res = PacketModeBackplane(n, sizes, rng).run(slots)
+    result.add("cell_mode_util", cell_res.utilization, paperdata.CELL_UTIL)
+    result.add(
+        "variable_length_util", pkt_res.utilization, paperdata.VARIABLE_LENGTH_UTIL
+    )
+    result.add(
+        "cell_over_variable",
+        cell_res.utilization / pkt_res.utilization if pkt_res.utilization else 0.0,
+    )
+    result.notes = (
+        "the thesis (quoting McKeown) puts variable-length scheduling at "
+        "~60% of fabric bandwidth and cells at up to 100%."
+    )
+    return result

@@ -1,0 +1,49 @@
+"""Shared experiment-result plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.viz.tables import format_comparison, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of measured-vs-paper values plus free-form notes."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, label: str, measured: Any, paper: Any = None, **extra: Any) -> None:
+        row = {"label": label, "measured": measured, "paper": paper}
+        row.update(extra)
+        self.rows.append(row)
+
+    def row(self, label: str) -> Dict[str, Any]:
+        for row in self.rows:
+            if row["label"] == label:
+                return row
+        raise KeyError(f"{self.name}: no row {label!r}")
+
+    def measured(self, label: str) -> Any:
+        return self.row(label)["measured"]
+
+    def ratio(self, label: str) -> Optional[float]:
+        row = self.row(label)
+        paper = row.get("paper")
+        if isinstance(paper, (int, float)) and paper:
+            return row["measured"] / paper
+        return None
+
+    def to_text(self) -> str:
+        body = format_comparison(self.rows, title=f"[{self.name}] {self.description}")
+        if self.notes:
+            body += f"\n{self.notes}"
+        return body
+
+    def extra_table(self, columns: List[str]) -> str:
+        rows = [[r["label"]] + [r.get(c, "") for c in columns] for r in self.rows]
+        return format_table(["case"] + columns, rows)

@@ -1,0 +1,134 @@
+"""Fig 7-1: peak and average router throughput vs packet size vs Click.
+
+Peak (top chart): conflict-free permutation traffic, saturated inputs --
+every quantum all four ports stream, so the rate is set by the quantum
+phase cost.  Average (bottom chart): uniform destinations under
+"complete fairness"; output contention idles blocked inputs and the rate
+drops to ~69% of peak.  The Click bar is measured by actually pushing
+the same packets through the Click element graph.
+
+Two engines produce the Raw numbers: the quantum-level fabric simulator
+(default -- fast, used by the benchmarks) and the full phase-level
+router with ingress/lookup/egress pipelines (``engine="router"``, used
+by the integration tests to confirm the pipeline stages don't move the
+bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.baselines.click import standard_ip_router
+from repro.core.fabricsim import (
+    FabricSimulator,
+    saturated_permutation,
+    saturated_uniform,
+)
+from repro.experiments import paperdata
+from repro.experiments.common import ExperimentResult
+from repro.raw import costs
+from repro.traffic.patterns import FixedPermutation, UniformDestinations
+from repro.traffic.sizes import PAPER_SIZES, FixedSize
+from repro.traffic.arrivals import Saturated
+from repro.traffic.workload import PacketFactory, Workload
+
+
+def _fabric_gbps(size_bytes: int, uniform: bool, quanta: int, seed: int) -> float:
+    words = costs.bytes_to_words(size_bytes)
+    sim = FabricSimulator()
+    if uniform:
+        rng = np.random.default_rng(seed)
+        source = saturated_uniform(words, rng, exclude_self=True)
+    else:
+        source = saturated_permutation(words, shift=2)
+    stats = sim.run(source, quanta=quanta, warmup_quanta=max(50, quanta // 20))
+    return stats.gbps
+
+
+def _router_gbps(size_bytes: int, uniform: bool, packets: int, seed: int) -> float:
+    from repro.router.router import RawRouter
+
+    rng = np.random.default_rng(seed)
+    warmup = 30_000
+    router = RawRouter(warmup_cycles=warmup)
+    pattern = (
+        UniformDestinations(4, rng, exclude_self=True)
+        if uniform
+        else FixedPermutation.shift(4, 2)
+    )
+    workload = Workload(pattern, FixedSize(size_bytes), Saturated())
+    router.attach_saturated(workload, PacketFactory(4, rng))
+    result = router.run(target_packets=packets)
+    return result.gbps
+
+
+def measure_click_gbps(size_bytes: int = 64, packets: int = 2000, seed: int = 0) -> float:
+    """Forward ``packets`` through the Click graph; aggregate Gbps."""
+    rng = np.random.default_rng(seed)
+    factory = PacketFactory(4, rng)
+    router = standard_ip_router(4)
+    batch = [
+        (i % 4, factory.make(i % 4, int(rng.integers(0, 4)), size_bytes))
+        for i in range(packets)
+    ]
+    return router.run_packets(batch).gbps
+
+
+def run_peak(
+    sizes: Iterable[int] = PAPER_SIZES,
+    quanta: int = 2000,
+    seed: int = 0,
+    engine: str = "fabric",
+    click_packets: int = 2000,
+) -> ExperimentResult:
+    """The top chart of Fig 7-1."""
+    result = ExperimentResult(
+        name="fig7_1_peak",
+        description="Peak throughput (Gbps), conflict-free traffic, vs Click",
+    )
+    result.add("click_64B", measure_click_gbps(64, click_packets, seed), paperdata.CLICK_GBPS)
+    for size in sizes:
+        if engine == "fabric":
+            gbps = _fabric_gbps(size, uniform=False, quanta=quanta, seed=seed)
+        elif engine == "router":
+            gbps = _router_gbps(size, uniform=False, packets=quanta, seed=seed)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        result.add(f"{size}B", gbps, paperdata.PEAK_GBPS.get(size))
+    # The headline packet rate: 3.3 Mpps at 1,024-byte packets.
+    gbps_1024 = result.measured("1024B")
+    mpps = gbps_1024 * 1e9 / (1024 * 8) / 1e6
+    result.add("peak_mpps_1024B", mpps, paperdata.PEAK_MPPS)
+    return result
+
+
+def run_average(
+    sizes: Iterable[int] = PAPER_SIZES,
+    quanta: int = 4000,
+    seed: int = 0,
+    engine: str = "fabric",
+    click_packets: int = 2000,
+) -> ExperimentResult:
+    """The bottom chart of Fig 7-1 (uniform traffic, output contention)."""
+    result = ExperimentResult(
+        name="fig7_1_avg",
+        description="Average throughput (Gbps), uniform traffic, vs Click",
+    )
+    result.add("click_64B", measure_click_gbps(64, click_packets, seed), paperdata.CLICK_GBPS)
+    for size in sizes:
+        if engine == "fabric":
+            gbps = _fabric_gbps(size, uniform=True, quanta=quanta, seed=seed)
+        elif engine == "router":
+            gbps = _router_gbps(size, uniform=True, packets=quanta, seed=seed)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        result.add(f"{size}B", gbps, paperdata.AVG_GBPS.get(size))
+    peak_1024 = _fabric_gbps(1024, uniform=False, quanta=quanta, seed=seed)
+    result.add(
+        "avg_to_peak_1024B",
+        result.measured("1024B") / peak_1024,
+        paperdata.AVG_TO_PEAK,
+    )
+    return result

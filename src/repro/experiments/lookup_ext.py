@@ -1,0 +1,106 @@
+"""Section 8.2: IP route lookup on a Raw tile.
+
+The thesis defers core-router-scale lookup to future work, pointing at
+Degermark et al.'s small forwarding tables.  This experiment builds both
+structures -- the PATRICIA trie of section 2.1 and the compressed
+16-8-8 multibit table -- over synthetic BGP-like prefix sets, prices
+lookups through the tile cache model, and reports lookups/second a
+single 250 MHz tile sustains, plus the structures' memory footprints
+(the compressed table's point is fitting near the tile).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.ip.addr import random_prefixes
+from repro.ip.lookup import CompressedTable, LookupCostModel, RoutingTable
+from repro.ip.nblookup import LookupEngine
+from repro.raw import costs
+from repro.raw.memory import DataCache
+
+
+def run(
+    table_sizes=(1000, 10000, 50000),
+    lookups: int = 3000,
+    seed: int = 6,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name="ext_lookup",
+        description="Route lookup on one tile: PATRICIA trie vs compressed table",
+    )
+    for n_routes in table_sizes:
+        rng = np.random.default_rng(seed)
+        prefixes = random_prefixes(n_routes, rng)
+        routes = [(p, i % 4) for i, p in enumerate(prefixes)]
+        trie_table = RoutingTable.from_routes(routes, default_port=0)
+        comp_table = CompressedTable(default_port=0).build(routes)
+
+        trie_cache = DataCache()
+        comp_cache = DataCache()
+        trie_model = LookupCostModel(trie_cache)
+        comp_model = LookupCostModel(comp_cache)
+
+        trie_cycles = comp_cycles = 0
+        trie_visits = comp_visits = comp_visits_max = 0
+        for _ in range(lookups):
+            # Half the probes hit real routes (deep walks), half are
+            # uniform random (mostly default-route misses).
+            if rng.random() < 0.5:
+                p = prefixes[int(rng.integers(0, len(prefixes)))]
+                addr = p.random_member(rng)
+            else:
+                addr = int(rng.integers(0, 1 << 32))
+            port_t, visits_t = trie_table.lookup_with_path(addr)
+            port_c, visits_c = comp_table.lookup_with_path(addr)
+            assert port_t == port_c, "structures disagree on LPM"
+            # Trie nodes scatter over the heap; model distinct lines per
+            # visit depth seeded by the address so reuse is realistic.
+            trie_cycles += trie_model.cost(
+                visits_t,
+                (((addr >> 8) + d * 97) % (1 << 20) * costs.CACHE_LINE_BYTES
+                 for d in range(visits_t)),
+            )
+            trie_visits += visits_t
+            comp_cycles += comp_model.cost(
+                visits_c,
+                (((addr >> (24 - 8 * d)) % (1 << 16)) * costs.CACHE_LINE_BYTES
+                 for d in range(visits_c)),
+            )
+            comp_visits += visits_c
+            comp_visits_max = max(comp_visits_max, visits_c)
+
+        trie_mlps = costs.CLOCK_HZ / (trie_cycles / lookups) / 1e6
+        comp_mlps = costs.CLOCK_HZ / (comp_cycles / lookups) / 1e6
+        result.add(f"trie_mlookups_per_s_{n_routes}", trie_mlps)
+        result.add(f"compressed_mlookups_per_s_{n_routes}", comp_mlps)
+        result.add(f"trie_mean_visits_{n_routes}", trie_visits / lookups)
+        result.add(f"compressed_mean_visits_{n_routes}", comp_visits / lookups)
+        result.add(f"compressed_max_visits_le3_{n_routes}", comp_visits_max <= 3, True)
+        result.add(
+            f"compressed_kbytes_{n_routes}", comp_table.memory_bytes() / 1024
+        )
+    # Section 8.2's multithreading-equivalence claim: non-blocking reads
+    # over the dynamic network interleave independent lookups, recovering
+    # the throughput a hardware-threaded network processor gets.
+    for window in (1, 4, 8):
+        engine = LookupEngine(visits_per_lookup=3, max_outstanding=window)
+        res = engine.simulate(2000)
+        result.add(
+            f"nonblocking_mlps_W{window}",
+            costs.CLOCK_HZ / res.cycles_per_lookup / 1e6,
+        )
+    result.add(
+        "nonblocking_speedup_W8",
+        LookupEngine(3, max_outstanding=8).speedup_over_blocking(),
+        8.0,
+    )
+    result.notes = (
+        "the compressed table bounds lookups at <=3 dependent memory "
+        "touches regardless of table size; with 8 reads in flight over "
+        "the dynamic network one tile sustains ~11 M lookups/s -- past "
+        "the IXP1200's 3.5 Mpps the thesis benchmarks against "
+        "(section 8.2's software-multithreading argument)."
+    )
+    return result

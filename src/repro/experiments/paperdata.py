@@ -1,0 +1,52 @@
+"""Reference numbers transcribed from the thesis.
+
+Values are read off the text and the Fig 7-1 bar charts; the average
+numbers are the bottom chart's bars (the text adds that average is
+"only about 69% of the peak performance due to the contention for
+output ports").
+"""
+
+from __future__ import annotations
+
+#: Fig 7-1 (top): peak throughput in Gbps by packet size (bytes).
+PEAK_GBPS = {64: 7.3, 128: 14.4, 256: 20.1, 512: 24.7, 1024: 26.9}
+
+#: Fig 7-1 (bottom): average throughput in Gbps by packet size.
+AVG_GBPS = {64: 5.0, 128: 9.9, 256: 13.8, 512: 16.9, 1024: 18.6}
+
+#: Fig 7-1: the Click bar (both charts).
+CLICK_GBPS = 0.23
+
+#: Abstract / section 7.2: peak packet rate at 1,024-byte packets.
+PEAK_MPPS = 3.3
+
+#: Section 7.3: average / peak ratio.
+AVG_TO_PEAK = 0.69
+
+#: Section 6.1: naive configuration space |Hdr|^4 x |Token|.
+CONFIG_SPACE = 2500
+
+#: Section 6.1: switch IMEM words per naive configuration (~3.3).
+IMEM_WORDS = 8192
+INSTR_PER_NAIVE_CONFIG = IMEM_WORDS / CONFIG_SPACE
+
+#: Section 6.2: minimized configuration count and reduction factor.
+MINIMIZED_CONFIGS = 32
+REDUCTION_FACTOR = 78
+
+#: Section 2.2.2 claims (via McKeown): FIFO HOL limit and VOQ recovery.
+HOL_THROUGHPUT = 0.586  # 2 - sqrt(2), large-N saturated FIFO
+VOQ_THROUGHPUT = 1.0
+#: Variable-length packets limit system throughput to ~60%; cells ~100%.
+VARIABLE_LENGTH_UTIL = 0.60
+CELL_UTIL = 1.0
+
+#: Case-study context (chapter 2): MGR and IXP1200 forwarding rates.
+MGR_MPPS = 32.0
+MGR_BACKPLANE_GBPS = 50.0
+IXP1200_MPPS = 3.5
+
+#: Raw chip parameters quoted in chapter 3.
+RAW_CLOCK_MHZ = 250
+RAW_BISECTION_GBPS = 230
+RAW_EXTERNAL_GBPS = 201

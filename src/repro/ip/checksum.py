@@ -1,0 +1,49 @@
+"""Internet checksum (RFC 1071) and incremental update (RFC 1141/1624).
+
+The Ingress Processor verifies the header checksum and, after
+decrementing TTL, patches it incrementally instead of recomputing -- the
+standard fast-path trick the thesis's 20-instruction header budget
+assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fold(value: int) -> int:
+    """Fold carries until the value fits in 16 bits."""
+    while value > 0xFFFF:
+        value = (value & 0xFFFF) + (value >> 16)
+    return value
+
+
+def internet_checksum(halfwords: Iterable[int]) -> int:
+    """One's-complement checksum over 16-bit words (checksum field = 0)."""
+    total = 0
+    for hw in halfwords:
+        if not 0 <= hw <= 0xFFFF:
+            raise ValueError(f"halfword {hw:#x} out of 16-bit range")
+        total += hw
+    return (~_fold(total)) & 0xFFFF
+
+
+def verify_checksum(halfwords: Sequence[int]) -> bool:
+    """True when a header *including its checksum field* sums to all-ones."""
+    return _fold(sum(halfwords)) == 0xFFFF
+
+
+def incremental_update(checksum: int, old_halfword: int, new_halfword: int) -> int:
+    """RFC 1624 incremental checksum update: ``HC' = ~(~HC + ~m + m')``.
+
+    One's-complement zero has two representations (0x0000 and 0xFFFF);
+    a header carrying 0x0000 fails the all-ones verification when the
+    rest of the header sums to zero, while 0xFFFF (= -0) verifies in
+    every case, so the degenerate 0x0000 result is canonicalized to
+    0xFFFF (the RFC 1624 section 4 discussion).
+    """
+    if not (0 <= checksum <= 0xFFFF and 0 <= old_halfword <= 0xFFFF and 0 <= new_halfword <= 0xFFFF):
+        raise ValueError("checksum arithmetic operands must be 16-bit")
+    total = (~checksum & 0xFFFF) + (~old_halfword & 0xFFFF) + new_halfword
+    result = (~_fold(total)) & 0xFFFF
+    return 0xFFFF if result == 0x0000 else result

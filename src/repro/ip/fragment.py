@@ -1,0 +1,97 @@
+"""Internal fragmentation across the Rotating Crossbar.
+
+Packets larger than the tile-to-tile transfer block are fragmented by
+the Ingress Processor and reassembled by the Egress Processor (thesis
+section 4.2/4.3).  These are *internal* fragments -- crossbar quanta --
+not IP fragments: each carries (packet id, index, count) so the egress
+can rebuild the packet in order even when other inputs' fragments
+interleave between its quanta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One crossbar quantum's worth of a packet."""
+
+    packet_id: int  #: unique per (input port, packet)
+    index: int  #: fragment sequence number, 0-based
+    count: int  #: total fragments of this packet
+    words: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not 0 <= self.index < self.count:
+            raise ValueError("fragment index out of range")
+        if not self.words:
+            raise ValueError("empty fragment")
+
+    @property
+    def is_last(self) -> bool:
+        return self.index == self.count - 1
+
+
+def fragment_words(
+    words: Sequence[int], max_words: int, packet_id: int
+) -> List[Fragment]:
+    """Split a packet's words into quanta of at most ``max_words``."""
+    if max_words < 1:
+        raise ValueError("max_words must be >= 1")
+    if not words:
+        raise ValueError("cannot fragment an empty packet")
+    count = (len(words) + max_words - 1) // max_words
+    return [
+        Fragment(
+            packet_id=packet_id,
+            index=i,
+            count=count,
+            words=tuple(words[i * max_words : (i + 1) * max_words]),
+        )
+        for i in range(count)
+    ]
+
+
+class Reassembler:
+    """Egress-side fragment collector.
+
+    ``push`` returns the complete word sequence when the final missing
+    fragment of a packet arrives, else None.  Fragments of different
+    packets may interleave arbitrarily; fragments of one packet arrive
+    in order (FIFO delivery through the crossbar) but the class tolerates
+    reordering, which the property tests exercise.
+    """
+
+    def __init__(self):
+        self._pending: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        self._counts: Dict[int, int] = {}
+        self.completed = 0
+
+    def push(self, frag: Fragment) -> Optional[List[int]]:
+        known = self._counts.setdefault(frag.packet_id, frag.count)
+        if known != frag.count:
+            raise ValueError(
+                f"packet {frag.packet_id}: inconsistent fragment count "
+                f"({frag.count} != {known})"
+            )
+        parts = self._pending.setdefault(frag.packet_id, {})
+        if frag.index in parts:
+            raise ValueError(
+                f"packet {frag.packet_id}: duplicate fragment {frag.index}"
+            )
+        parts[frag.index] = frag.words
+        if len(parts) < frag.count:
+            return None
+        words: List[int] = []
+        for i in range(frag.count):
+            words.extend(parts[i])
+        del self._pending[frag.packet_id]
+        del self._counts[frag.packet_id]
+        self.completed += 1
+        return words
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)

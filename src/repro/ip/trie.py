@@ -1,0 +1,204 @@
+"""PATRICIA (path-compressed radix) trie for longest-prefix match.
+
+The thesis notes that "traditional implementations of routing tables use
+a version of Patricia trees with modifications for longest prefix
+matching" (section 2.1).  This is that structure: a binary radix tree
+with edge-label compression, supporting insert/lookup/delete and --
+because the point on Raw is to *price* lookups in tile cycles -- a
+``lookup_with_path`` variant that reports how many node visits (i.e.
+dependent memory accesses) the search performed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.ip.addr import ADDR_BITS, Prefix
+
+_SENTINEL = object()
+
+
+def _bit(addr: int, i: int) -> int:
+    """Bit ``i`` of a 32-bit address, MSB first (i=0 is the top bit)."""
+    return (addr >> (ADDR_BITS - 1 - i)) & 1
+
+
+def _bits(addr: int, start: int, length: int) -> int:
+    """Extract ``length`` bits of ``addr`` starting at MSB offset ``start``."""
+    if length == 0:
+        return 0
+    return (addr >> (ADDR_BITS - start - length)) & ((1 << length) - 1)
+
+
+class _Node:
+    """Trie node; the edge *into* this node carries (label, label_len)."""
+
+    __slots__ = ("label", "label_len", "depth", "value", "children")
+
+    def __init__(self, label: int, label_len: int, depth: int):
+        self.label = label
+        self.label_len = label_len
+        self.depth = depth  # total bits from the root through this node
+        self.value: Any = _SENTINEL
+        self.children: List[Optional["_Node"]] = [None, None]
+
+    @property
+    def has_value(self) -> bool:
+        return self.value is not _SENTINEL
+
+
+class PatriciaTrie:
+    """Longest-prefix-match over 32-bit keys with path compression."""
+
+    def __init__(self):
+        self._root = _Node(0, 0, 0)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    def insert(self, prefix: Prefix, value: Any) -> None:
+        """Insert or replace the route for ``prefix``."""
+        addr, plen = prefix.address, prefix.length
+        node = self._root
+        depth = 0
+        while depth < plen:
+            bit = _bit(addr, depth)
+            child = node.children[bit]
+            if child is None:
+                leaf = _Node(_bits(addr, depth, plen - depth), plen - depth, plen)
+                leaf.value = value
+                node.children[bit] = leaf
+                self._count += 1
+                return
+            # Longest common prefix of the remaining key and the edge label.
+            rem = plen - depth
+            common = 0
+            limit = min(rem, child.label_len)
+            while common < limit and _bits(addr, depth, common + 1) == (
+                child.label >> (child.label_len - common - 1)
+            ):
+                common += 1
+            if common == child.label_len:
+                node = child
+                depth += child.label_len
+                continue
+            # Split the edge at ``common`` bits.
+            mid = _Node(child.label >> (child.label_len - common), common, depth + common)
+            child_label_rest_len = child.label_len - common
+            child.label &= (1 << child_label_rest_len) - 1
+            child.label_len = child_label_rest_len
+            mid.children[(child.label >> (child_label_rest_len - 1)) & 1] = child
+            node.children[bit] = mid
+            if common == rem:
+                mid.value = value
+                self._count += 1
+                return
+            leaf = _Node(
+                _bits(addr, depth + common, rem - common), rem - common, plen
+            )
+            leaf.value = value
+            mid.children[_bit(addr, depth + common)] = leaf
+            self._count += 1
+            return
+        # depth == plen: value lives on the current node.
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> Any:
+        """Value of the longest matching prefix, or None."""
+        value, _ = self.lookup_with_path(addr)
+        return value
+
+    def lookup_with_path(self, addr: int) -> Tuple[Any, int]:
+        """LPM result plus the number of node visits (memory touches)."""
+        node = self._root
+        depth = 0
+        visits = 1
+        best: Any = node.value if node.has_value else None
+        while depth < ADDR_BITS:
+            child = node.children[_bit(addr, depth)]
+            if child is None:
+                break
+            visits += 1
+            if _bits(addr, depth, child.label_len) != child.label:
+                break
+            depth += child.label_len
+            node = child
+            if node.has_value:
+                best = node.value
+        return best, visits
+
+    # ------------------------------------------------------------------
+    def delete(self, prefix: Prefix) -> bool:
+        """Remove a route; returns False if it was not present."""
+        addr, plen = prefix.address, prefix.length
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        depth = 0
+        while depth < plen:
+            bit = _bit(addr, depth)
+            child = node.children[bit]
+            if child is None or _bits(addr, depth, child.label_len) != child.label:
+                return False
+            path.append((node, bit))
+            node = child
+            depth += child.label_len
+        if depth != plen or not node.has_value:
+            return False
+        node.value = _SENTINEL
+        self._count -= 1
+        self._prune(node, path)
+        return True
+
+    def _prune(self, node: _Node, path: List[Tuple[_Node, int]]) -> None:
+        """Merge away valueless single-child / childless nodes."""
+        while path and node is not self._root and not node.has_value:
+            kids = [c for c in node.children if c is not None]
+            parent, bit = path[-1]
+            if len(kids) == 0:
+                parent.children[bit] = None
+            elif len(kids) == 1:
+                only = kids[0]
+                only.label |= node.label << only.label_len
+                only.label_len += node.label_len
+                parent.children[bit] = only
+            else:
+                return
+            path.pop()
+            node = parent
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Prefix, Any]]:
+        """All (prefix, value) pairs, in DFS order."""
+
+        def walk(node: _Node, addr: int, depth: int):
+            addr = (addr << node.label_len) | node.label
+            depth += node.label_len
+            if node.has_value:
+                yield Prefix(addr << (ADDR_BITS - depth) if depth else 0, depth), node.value
+            for child in node.children:
+                if child is not None:
+                    yield from walk(child, addr, depth)
+
+        yield from walk(self._root, 0, 0)
+
+    def node_count(self) -> int:
+        """Total allocated nodes (memory footprint proxy)."""
+
+        def count(node: _Node) -> int:
+            return 1 + sum(count(c) for c in node.children if c is not None)
+
+        return count(self._root)
+
+    def max_depth(self) -> int:
+        """Deepest node-visit count any lookup can incur."""
+
+        def depth(node: _Node) -> int:
+            kids = [depth(c) for c in node.children if c is not None]
+            return 1 + (max(kids) if kids else 0)
+
+        return depth(self._root)

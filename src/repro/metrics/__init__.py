@@ -1,0 +1,15 @@
+"""Measurement: throughput meters, latency stats, tile utilization."""
+
+from repro.metrics.throughput import ThroughputMeter
+from repro.metrics.latency import LatencyStats
+from repro.metrics.utilization import UtilizationSummary, summarize_trace
+from repro.metrics.stats import mean_ci, batch_means
+
+__all__ = [
+    "ThroughputMeter",
+    "LatencyStats",
+    "UtilizationSummary",
+    "summarize_trace",
+    "mean_ci",
+    "batch_means",
+]

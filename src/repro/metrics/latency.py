@@ -1,0 +1,55 @@
+"""Packet latency statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.raw import costs
+
+
+class LatencyStats:
+    """Collects per-packet cycle latencies; reports percentiles."""
+
+    def __init__(self):
+        self._samples: List[int] = []
+
+    def record(self, arrival_cycle: int, departure_cycle: int) -> None:
+        if departure_cycle < arrival_cycle:
+            raise ValueError("departure before arrival")
+        self._samples.append(departure_cycle - arrival_cycle)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def empty(self) -> bool:
+        return not self._samples
+
+    def cycles(self) -> np.ndarray:
+        return np.asarray(self._samples, dtype=np.int64)
+
+    def mean(self) -> float:
+        return float(np.mean(self._samples)) if self._samples else float("nan")
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return float("nan")
+        return float(np.percentile(self._samples, q))
+
+    def summary(self, clock_hz: float = costs.CLOCK_HZ) -> Dict[str, float]:
+        """Mean/median/p99 in cycles and microseconds."""
+        if not self._samples:
+            return {}
+        arr = self.cycles()
+        out = {
+            "count": float(arr.size),
+            "mean_cycles": float(arr.mean()),
+            "p50_cycles": float(np.percentile(arr, 50)),
+            "p99_cycles": float(np.percentile(arr, 99)),
+            "max_cycles": float(arr.max()),
+        }
+        out["mean_us"] = out["mean_cycles"] / clock_hz * 1e6
+        out["p99_us"] = out["p99_cycles"] / clock_hz * 1e6
+        return out

@@ -1,0 +1,43 @@
+"""Small statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+try:  # scipy is an optional (dev) dependency
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+
+def mean_ci(samples: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Sample mean and half-width of its confidence interval.
+
+    Uses Student's t when scipy is available, else the normal
+    approximation (fine for the >=30-sample runs the harness produces).
+    """
+    x = np.asarray(samples, dtype=float)
+    if x.size == 0:
+        raise ValueError("no samples")
+    if x.size == 1:
+        return float(x[0]), 0.0
+    mean = float(x.mean())
+    sem = float(x.std(ddof=1) / np.sqrt(x.size))
+    if _scipy_stats is not None:
+        crit = float(_scipy_stats.t.ppf((1 + confidence) / 2, df=x.size - 1))
+    else:
+        crit = 1.959963984540054 if confidence == 0.95 else 2.5758293035489004
+    return mean, crit * sem
+
+
+def batch_means(samples: Sequence[float], num_batches: int = 10) -> List[float]:
+    """Batch-means reduction for autocorrelated simulation output."""
+    x = np.asarray(samples, dtype=float)
+    if num_batches < 2:
+        raise ValueError("need at least two batches")
+    if x.size < num_batches:
+        raise ValueError("fewer samples than batches")
+    usable = (x.size // num_batches) * num_batches
+    return [float(b.mean()) for b in np.split(x[:usable], num_batches)]

@@ -1,0 +1,99 @@
+"""Per-tile utilization from kernel traces (thesis Fig 7-3).
+
+Fig 7-3 plots, per tile and per cycle, whether the tile processor is
+computing or "blocked on transmit, receive, or cache miss" (gray).
+:func:`summarize_trace` reduces a :class:`~repro.sim.Trace` to busy /
+blocked / idle fractions per tile, and :func:`state_matrix` rasterizes
+it for the ASCII timeline renderer in :mod:`repro.viz.timeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.kernel import BLOCKED_STATES, BUSY
+from repro.sim.trace import Trace
+
+#: Raster cell codes.
+IDLE_CODE = 0
+BUSY_CODE = 1
+BLOCKED_CODE = 2
+
+
+@dataclass
+class UtilizationSummary:
+    """Busy/blocked/idle fractions of one trace key over a window."""
+
+    key: str
+    window: int
+    busy: int
+    blocked: int
+
+    @property
+    def idle(self) -> int:
+        return max(0, self.window - self.busy - self.blocked)
+
+    @property
+    def busy_frac(self) -> float:
+        return self.busy / self.window if self.window else 0.0
+
+    @property
+    def blocked_frac(self) -> float:
+        return self.blocked / self.window if self.window else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles doing useful work (the Fig 7-3 quantity)."""
+        return self.busy_frac
+
+
+def summarize_trace(
+    trace: Trace, start: int = 0, stop: Optional[int] = None
+) -> Dict[str, UtilizationSummary]:
+    """Per-key busy/blocked cycle counts over ``[start, stop)``."""
+    if stop is None:
+        stop = trace.horizon()
+    if stop <= start:
+        raise ValueError("empty window")
+    out: Dict[str, UtilizationSummary] = {}
+    for key in trace.keys():
+        busy = blocked = 0
+        for iv in trace.intervals(key):
+            lo = max(iv.start, start)
+            hi = min(iv.end, stop)
+            if hi <= lo:
+                continue
+            if iv.state == BUSY:
+                busy += hi - lo
+            elif iv.state in BLOCKED_STATES:
+                blocked += hi - lo
+        out[key] = UtilizationSummary(
+            key=key, window=stop - start, busy=busy, blocked=blocked
+        )
+    return out
+
+
+def state_matrix(
+    trace: Trace,
+    keys: Sequence[str],
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Rasterize: rows = keys, columns = cycles, values = cell codes."""
+    if stop <= start:
+        raise ValueError("empty window")
+    mat = np.zeros((len(keys), stop - start), dtype=np.uint8)
+    for row, key in enumerate(keys):
+        for iv in trace.intervals(key):
+            lo = max(iv.start, start) - start
+            hi = min(iv.end, stop) - start
+            if hi <= lo:
+                continue
+            code = BUSY_CODE if iv.state == BUSY else (
+                BLOCKED_CODE if iv.state in BLOCKED_STATES else IDLE_CODE
+            )
+            mat[row, lo:hi] = code
+    return mat

@@ -1,0 +1,93 @@
+"""Whole-chip assembly: simulator + networks + tiles in one object.
+
+:class:`RawChip` owns a kernel :class:`~repro.sim.Simulator`, the two
+static networks, the dynamic network, a per-tile data cache, and the
+registry of tile/switch programs.  The word-level router model
+(:mod:`repro.router.wordlevel`) and the examples build on it; unit tests
+drive it directly with small hand-written programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.raw import costs
+from repro.raw.layout import NUM_TILES
+from repro.raw.memory import DataCache
+from repro.raw.network import DynamicNetwork, StaticNetwork
+from repro.raw.switchproc import SwitchProcessor
+from repro.sim.kernel import Process, Simulator
+from repro.sim.trace import Trace
+
+
+class RawChip:
+    """A simulated Raw chip.
+
+    Parameters
+    ----------
+    trace:
+        Optional trace sink for per-tile utilization; pass a
+        :class:`~repro.sim.Trace` windowed to the cycles of interest to
+        reproduce thesis Fig 7-3.
+    num_static_networks:
+        The prototype has two; the router uses only network 1 (section
+        5.3 shows one suffices), but the ablation experiments instantiate
+        both.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None, num_static_networks: int = 2):
+        if not 1 <= num_static_networks <= 2:
+            raise ValueError("Raw has one or two static networks")
+        self.sim = Simulator(trace=trace)
+        self.trace = trace
+        self.static = [
+            StaticNetwork(self.sim, index=i + 1) for i in range(num_static_networks)
+        ]
+        self.dynamic = DynamicNetwork(self.sim)
+        self.caches: List[DataCache] = [DataCache() for _ in range(NUM_TILES)]
+        self.switches: List[SwitchProcessor] = [
+            SwitchProcessor(t) for t in range(NUM_TILES)
+        ]
+        self._programs: Dict[str, Process] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> StaticNetwork:
+        """Static network 1, the one the Rotating Crossbar runs on."""
+        return self.static[0]
+
+    def add_tile_program(self, tile: int, gen: Generator, role: str = "tile") -> Process:
+        """Register a tile-processor program; traced as ``t{tile}``."""
+        if not 0 <= tile < NUM_TILES:
+            raise ValueError(f"tile id {tile} out of range")
+        name = f"{role}@t{tile}"
+        proc = self.sim.add_process(gen, name=name, trace_key=f"t{tile}")
+        self._programs[name] = proc
+        return proc
+
+    def add_switch_program(self, tile: int, gen: Generator) -> Process:
+        """Register a switch-processor program (traced separately)."""
+        if not 0 <= tile < NUM_TILES:
+            raise ValueError(f"tile id {tile} out of range")
+        name = f"switch@t{tile}"
+        proc = self.sim.add_process(gen, name=name, trace_key=f"sw{tile}")
+        self._programs[name] = proc
+        return proc
+
+    def add_io_program(self, gen: Generator, name: str) -> Process:
+        """Register an off-chip process (line card, traffic source/sink)."""
+        proc = self.sim.add_process(gen, name=name)
+        self._programs[name] = proc
+        return proc
+
+    def run(self, until: Optional[int] = None, raise_on_deadlock: bool = False) -> int:
+        """Advance the simulation; returns the final cycle count."""
+        return self.sim.run(until=until, raise_on_deadlock=raise_on_deadlock)
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def seconds(self) -> float:
+        return self.sim.now / costs.CLOCK_HZ

@@ -1,0 +1,122 @@
+"""The Raw cycle-cost model (thesis chapter 3) and router calibration.
+
+Every constant cites where it comes from in the thesis; the single
+*calibrated* value is :data:`QUANTUM_CTL_OVERHEAD`, the non-overlapped
+control cost of one Rotating Crossbar routing quantum, fitted once against
+the published Fig 7-1 throughputs (see DESIGN.md section 5 for the fit and
+residuals).  All other numbers are taken directly from the text.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Chip-level parameters (section 3.4).
+# ---------------------------------------------------------------------------
+CLOCK_HZ: float = 250e6  #: Raw prototype target frequency, 250 MHz.
+WORD_BITS: int = 32  #: static networks move one 32-bit word per cycle.
+WORD_BYTES: int = WORD_BITS // 8
+NUM_TILES: int = 16  #: 4x4 grid (section 3.1).
+
+# ---------------------------------------------------------------------------
+# Static network (section 3.3).
+# ---------------------------------------------------------------------------
+#: Cycles for one word to cross one switch-to-switch hop.
+STATIC_HOP_CYCLES: int = 1
+#: Depth of the input FIFO behind each static-network port.  The Raw
+#: switch buffers a few words per port; without this slack, symmetric
+#: ring communication (everyone injecting, then everyone forwarding)
+#: would deadlock on the capacity-1 wires.
+STATIC_FIFO_DEPTH: int = 4
+#: ALU-to-ALU send-to-use latency for nearest neighbors (Fig 3-2 walkthrough):
+#: five cycles total of which two perform computation => 3-cycle latency.
+SEND_TO_USE_CYCLES: int = 3
+
+# ---------------------------------------------------------------------------
+# Dynamic network (section 3.3): wormhole, dimension-ordered, 2-stage pipe.
+# ---------------------------------------------------------------------------
+DYNAMIC_BASE_CYCLES: int = 15  #: nearest-neighbor ALU-to-ALU minimum.
+DYNAMIC_PER_HOP_CYCLES: int = 2  #: two-stage pipelined router per hop.
+DYNAMIC_MAX_MESSAGE_WORDS: int = 32  #: including the header word.
+
+# ---------------------------------------------------------------------------
+# Tile processor (section 3.2) and buffer management costs (section 4.4).
+# ---------------------------------------------------------------------------
+#: Moving a word network->memory costs two instructions (receive + store):
+#: "buffering data on a tile's local memory requires two processor cycles
+#: per word" (section 4.4).
+NET_TO_MEM_CYCLES_PER_WORD: int = 2
+#: memory->network is a single register-mapped load-and-send
+#: (``lw $csto, 0(rs)``), one cycle per word.
+MEM_TO_NET_CYCLES_PER_WORD: int = 1
+#: network->network cut-through (``or $csto, $0, $csti``), one cycle per word.
+CUT_THROUGH_CYCLES_PER_WORD: int = 1
+
+PREDICTED_BRANCH_CYCLES: int = 1  #: no penalty, but the branch itself issues.
+MISPREDICTED_BRANCH_CYCLES: int = 3  #: three-cycle misprediction penalty.
+
+# ---------------------------------------------------------------------------
+# Memory system (section 3.2).
+# ---------------------------------------------------------------------------
+DMEM_WORDS: int = 8192  #: per-tile data cache, 32-bit words.
+IMEM_WORDS: int = 8192  #: per-tile local instruction memory, 32-bit words.
+SWITCH_MEM_WORDS: int = 8192  #: per-tile switch memory, 64-bit words.
+CACHE_LINE_BYTES: int = 32
+CACHE_WAYS: int = 2
+CACHE_HIT_CYCLES: int = 3  #: 3-cycle latency data cache.
+#: Miss service: request + reply over the memory dynamic network plus DRAM;
+#: mid-chip round trip ~2 x (15 + 2*3) + DRAM ~= 54 cycles.
+CACHE_MISS_CYCLES: int = 54
+
+# ---------------------------------------------------------------------------
+# Router phase costs (chapters 5/6).  The per-quantum control sequence of
+# Fig 6-2 is: headers-request, headers send/recv, exchange around the ring,
+# choose_new_config (jump-table lookup on the tile processor), then the
+# confirmation handshake with the switch processor.  Header processing of
+# the *next* packet overlaps body streaming of the current one (section
+# 6.5); QUANTUM_CTL_OVERHEAD is the part that does not overlap.
+# ---------------------------------------------------------------------------
+HEADER_WORDS: int = 2  #: local header exchanged between crossbar tiles
+#: (output port + quantum length).
+
+#: Non-overlapped control cycles per routing quantum.  CALIBRATED: with
+#: cycles/quantum = words + expansion + C, the published Fig 7-1 peak
+#: throughputs imply C in [38, 54] across packet sizes; C = 48 reproduces
+#: 26.7 vs 26.9 Gbps at 1,024 B and 7.6 vs 7.3 Gbps at 64 B.
+QUANTUM_CTL_OVERHEAD: int = 48
+
+#: Largest tile-to-tile transfer block: packets longer than this are
+#: fragmented by the Ingress Processor (section 4.2) and reassembled by
+#: the Egress Processor.  256 words = 1,024 bytes, so every packet size in
+#: Fig 7-1 moves in a single quantum.
+MAX_QUANTUM_WORDS: int = 256
+
+#: Per-packet IP header work on the Ingress Processor (checksum verify and
+#: incremental update, TTL decrement, fragmentation decision) -- about 20
+#: unrolled integer instructions; overlapped with payload streaming.
+INGRESS_HEADER_CYCLES: int = 20
+
+#: Route lookup budget on the Lookup Processor; overlapped with payload
+#: buffering (section 4.3), so it only binds for tiny packets.
+LOOKUP_CYCLES: int = 30
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared by the experiment harness.
+# ---------------------------------------------------------------------------
+def bytes_to_words(nbytes: int) -> int:
+    """Number of 32-bit network words needed to carry ``nbytes``."""
+    return (nbytes + WORD_BYTES - 1) // WORD_BYTES
+
+
+def gbps(bits: float, cycles: float, clock_hz: float = CLOCK_HZ) -> float:
+    """Throughput in Gbit/s for ``bits`` moved in ``cycles`` at ``clock_hz``."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return bits * clock_hz / cycles / 1e9
+
+
+def mpps(packets: float, cycles: float, clock_hz: float = CLOCK_HZ) -> float:
+    """Packet rate in Mpkt/s for ``packets`` forwarded in ``cycles``."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return packets * clock_hz / cycles / 1e6

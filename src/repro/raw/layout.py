@@ -1,0 +1,138 @@
+"""Grid geometry and the router's port-to-tile mapping.
+
+Tiles are numbered row-major on the 4x4 grid (thesis Fig 7-2)::
+
+     0  1  2  3
+     4  5  6  7
+     8  9 10 11
+    12 13 14 15
+
+Each router port occupies a column of four functional tiles (Fig 4-1):
+an Ingress Processor on a chip edge, a Lookup Processor next to its
+off-chip routing-table memory, a Crossbar Processor in the center, and an
+Egress Processor on an edge.  Fig 7-3's caption pins the ingress tiles to
+4, 7, 8 and 11, which places the Rotating Crossbar on the four center
+tiles 5, 6, 10, 9 -- a unit ring where consecutive ring positions are
+grid neighbors, so every clockwise/counterclockwise transfer is a
+single-hop static-network route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+GRID_WIDTH = 4
+GRID_HEIGHT = 4
+NUM_TILES = GRID_WIDTH * GRID_HEIGHT
+NUM_PORTS = 4
+
+
+class Direction(Enum):
+    """Static-switch crossbar directions (section 3.3)."""
+
+    NORTH = "N"
+    SOUTH = "S"
+    EAST = "E"
+    WEST = "W"
+    PROC = "P"  #: into/out of the tile processor.
+
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.PROC: Direction.PROC,
+}
+
+_DELTA = {
+    Direction.NORTH: (0, -1),
+    Direction.SOUTH: (0, 1),
+    Direction.EAST: (1, 0),
+    Direction.WEST: (-1, 0),
+}
+
+
+def tile_xy(tile: int) -> Tuple[int, int]:
+    """Grid coordinates ``(x, y)`` of a tile id (x = column, y = row)."""
+    if not 0 <= tile < NUM_TILES:
+        raise ValueError(f"tile id {tile} out of range")
+    return tile % GRID_WIDTH, tile // GRID_WIDTH
+
+
+def tile_id(x: int, y: int) -> int:
+    """Tile id at grid coordinates, or raise if off-chip."""
+    if not (0 <= x < GRID_WIDTH and 0 <= y < GRID_HEIGHT):
+        raise ValueError(f"coordinates ({x}, {y}) are off-chip")
+    return y * GRID_WIDTH + x
+
+
+def neighbor(tile: int, direction: Direction) -> Optional[int]:
+    """Neighboring tile id in ``direction``, or None at the chip edge."""
+    x, y = tile_xy(tile)
+    dx, dy = _DELTA[direction]
+    nx, ny = x + dx, y + dy
+    if 0 <= nx < GRID_WIDTH and 0 <= ny < GRID_HEIGHT:
+        return tile_id(nx, ny)
+    return None
+
+
+def manhattan(a: int, b: int) -> int:
+    """Hop distance between two tiles on the mesh."""
+    ax, ay = tile_xy(a)
+    bx, by = tile_xy(b)
+    return abs(ax - bx) + abs(ay - by)
+
+
+@dataclass(frozen=True)
+class PortLayout:
+    """The four tiles implementing one router port (Fig 4-1)."""
+
+    port: int
+    ingress: int
+    lookup: int
+    crossbar: int
+    egress: int
+
+    @property
+    def tiles(self) -> Tuple[int, int, int, int]:
+        return (self.ingress, self.lookup, self.crossbar, self.egress)
+
+
+#: Port-to-tile mapping of Fig 7-2.  Ingress tiles 4/7/8/11 (chip edges,
+#: confirmed by the Fig 7-3 caption), crossbar ring on the center tiles.
+ROUTER_LAYOUT: List[PortLayout] = [
+    PortLayout(port=0, ingress=4, lookup=0, crossbar=5, egress=1),
+    PortLayout(port=1, ingress=7, lookup=3, crossbar=6, egress=2),
+    PortLayout(port=2, ingress=11, lookup=15, crossbar=10, egress=14),
+    PortLayout(port=3, ingress=8, lookup=12, crossbar=9, egress=13),
+]
+
+#: Crossbar tiles in clockwise ring order; ring index == port number.
+CROSSBAR_RING: Tuple[int, ...] = tuple(p.crossbar for p in ROUTER_LAYOUT)
+INGRESS_TILES: Tuple[int, ...] = tuple(p.ingress for p in ROUTER_LAYOUT)
+EGRESS_TILES: Tuple[int, ...] = tuple(p.egress for p in ROUTER_LAYOUT)
+LOOKUP_TILES: Tuple[int, ...] = tuple(p.lookup for p in ROUTER_LAYOUT)
+
+
+def ring_neighbors_are_adjacent() -> bool:
+    """Sanity property: consecutive crossbar tiles are grid neighbors."""
+    n = len(CROSSBAR_RING)
+    return all(
+        manhattan(CROSSBAR_RING[i], CROSSBAR_RING[(i + 1) % n]) == 1
+        for i in range(n)
+    )
+
+
+def port_of_tile(tile: int) -> Optional[Tuple[int, str]]:
+    """Map a tile id back to ``(port, role)`` or None for unused tiles."""
+    for layout in ROUTER_LAYOUT:
+        for role in ("ingress", "lookup", "crossbar", "egress"):
+            if getattr(layout, role) == tile:
+                return layout.port, role
+    return None

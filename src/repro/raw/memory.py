@@ -1,0 +1,118 @@
+"""Per-tile data-cache model (thesis section 3.2).
+
+Each tile has an 8,192-word (32 KB), 2-way set-associative, 3-cycle-latency
+data cache with 32-byte lines and a write buffer; there is no coherence.
+The model is functional-timing only: it tracks tags and LRU state and
+returns a cycle cost per access, which tile programs turn into
+``Timeout(cost, MEM_BLOCK)`` commands.  Payload words themselves live in
+plain Python lists -- the cache model prices the accesses, it does not
+store data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.raw import costs
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exported by the router's per-tile statistics."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.misses * costs.CACHE_MISS_CYCLES
+
+
+class DataCache:
+    """2-way set-associative cache with true-LRU replacement.
+
+    Parameters mirror the Raw tile cache; they are overridable so the
+    route-lookup experiments can sweep cache geometry.
+
+    ``access(addr)`` returns the *extra* stall cycles of the access beyond
+    the pipelined hit path: 0 for a hit (the 3-cycle hit latency is hidden
+    by the 8-stage pipeline for independent accesses), and
+    ``CACHE_MISS_CYCLES`` for a miss.  ``access_latency(addr)`` returns
+    the full latency (hit latency or miss service time) for dependent
+    accesses such as trie walks.
+    """
+
+    def __init__(
+        self,
+        size_words: int = costs.DMEM_WORDS,
+        line_bytes: int = costs.CACHE_LINE_BYTES,
+        ways: int = costs.CACHE_WAYS,
+        hit_cycles: int = costs.CACHE_HIT_CYCLES,
+        miss_cycles: int = costs.CACHE_MISS_CYCLES,
+    ):
+        if size_words <= 0 or line_bytes <= 0 or ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        line_words = line_bytes // costs.WORD_BYTES
+        num_lines = size_words // line_words
+        if num_lines % ways != 0:
+            raise ValueError("cache size not divisible into ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+        self.stats = CacheStats()
+        # Per-set list of resident tags in LRU order (front = LRU).
+        self._sets: Dict[int, List[int]] = {}
+
+    def _locate(self, addr: int) -> tuple:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def probe(self, addr: int) -> bool:
+        """True if ``addr`` is resident (no state change)."""
+        index, tag = self._locate(addr)
+        return tag in self._sets.get(index, ())
+
+    def access(self, addr: int) -> int:
+        """Touch ``addr``; return extra stall cycles (0 on hit)."""
+        index, tag = self._locate(addr)
+        ways = self._sets.setdefault(index, [])
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)  # most-recently used at the back
+            self.stats.hits += 1
+            return 0
+        self.stats.misses += 1
+        if len(ways) >= self.ways:
+            ways.pop(0)
+        ways.append(tag)
+        return self.miss_cycles
+
+    def access_latency(self, addr: int) -> int:
+        """Full load-to-use latency of a dependent access."""
+        stall = self.access(addr)
+        return self.hit_cycles if stall == 0 else stall
+
+    def touch_range(self, addr: int, nbytes: int) -> int:
+        """Stream ``nbytes`` starting at ``addr``; return total stall cycles."""
+        if nbytes <= 0:
+            return 0
+        total = 0
+        first = addr // self.line_bytes
+        last = (addr + nbytes - 1) // self.line_bytes
+        for line in range(first, last + 1):
+            total += self.access(line * self.line_bytes)
+        return total
+
+    def flush(self) -> None:
+        self._sets.clear()

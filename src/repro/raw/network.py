@@ -1,0 +1,152 @@
+"""On-chip networks: static links as channels, dynamic net as a latency model.
+
+Static networks (section 3.3): flow-controlled, one 32-bit word per cycle
+per hop, no headers, routes fixed by the switch-processor instruction
+stream.  Each point-to-point link is a :class:`repro.sim.Channel` with
+``capacity=1, latency=1``, which reproduces exactly that behaviour under
+the kernel (see tests/test_sim_kernel.py::test_chain_throughput).
+
+Dynamic networks: wormhole-routed, dimension-ordered, two-stage pipelined
+routers, messages up to 32 words, nearest-neighbor ALU-to-ALU latency
+15-30 cycles.  The router proper never touches them (the Rotating
+Crossbar runs entirely on static network 1); they back the cache-miss
+path and the non-blocking route-lookup extension (section 8.2), so a
+latency model plus a mailbox delivery mechanism suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.raw import costs
+from repro.raw.layout import Direction, NUM_TILES, manhattan, neighbor, tile_xy
+from repro.sim.channel import Channel
+from repro.sim.kernel import Put, Simulator, Timeout
+
+
+class StaticNetwork:
+    """One of Raw's two static networks, materialized as link channels.
+
+    Links exist between every pair of adjacent tiles (both directions
+    independently -- the network is full duplex) and at the chip edge,
+    where the 16 periphery connections become the chip's I/O pins
+    (section 3.4: the internal networks are multiplexed off-chip).
+    """
+
+    def __init__(self, sim: Simulator, index: int = 1):
+        self.sim = sim
+        self.index = index
+        self._links: Dict[Tuple[int, int], Channel] = {}
+        self._edges: Dict[Tuple[int, Direction], Channel] = {}
+        for tile in range(NUM_TILES):
+            for direction in (
+                Direction.NORTH,
+                Direction.SOUTH,
+                Direction.EAST,
+                Direction.WEST,
+            ):
+                other = neighbor(tile, direction)
+                if other is None:
+                    self._edges[(tile, direction)] = sim.channel(
+                        f"sn{index}.edge.t{tile}.{direction.value}",
+                        capacity=costs.STATIC_FIFO_DEPTH,
+                        latency=costs.STATIC_HOP_CYCLES,
+                    )
+                elif (tile, other) not in self._links:
+                    self._links[(tile, other)] = sim.channel(
+                        f"sn{index}.t{tile}->t{other}",
+                        capacity=costs.STATIC_FIFO_DEPTH,
+                        latency=costs.STATIC_HOP_CYCLES,
+                    )
+                    self._links[(other, tile)] = sim.channel(
+                        f"sn{index}.t{other}->t{tile}",
+                        capacity=costs.STATIC_FIFO_DEPTH,
+                        latency=costs.STATIC_HOP_CYCLES,
+                    )
+
+    def link(self, src: int, dst: int) -> Channel:
+        """The directed link channel from tile ``src`` to adjacent ``dst``."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ValueError(f"tiles {src} and {dst} are not adjacent") from None
+
+    def edge(self, tile: int, direction: Direction) -> Channel:
+        """The off-chip I/O channel of an edge tile in ``direction``.
+
+        The same channel serves as input or output depending on which side
+        (line card process or switch process) puts and which gets.
+        """
+        try:
+            return self._edges[(tile, direction)]
+        except KeyError:
+            raise ValueError(
+                f"tile {tile} has no chip edge to the {direction.value}"
+            ) from None
+
+    def edge_directions(self, tile: int):
+        """Directions in which ``tile`` touches the chip edge."""
+        return [d for (t, d) in self._edges if t == tile]
+
+
+class DynamicNetwork:
+    """Latency model + mailbox delivery for Raw's dynamic networks."""
+
+    def __init__(self, sim: Optional[Simulator] = None, mailbox_capacity: int = 64):
+        self.sim = sim
+        self._mailboxes: Dict[int, Channel] = {}
+        if sim is not None:
+            for tile in range(NUM_TILES):
+                self._mailboxes[tile] = sim.channel(
+                    f"dn.mbox.t{tile}", capacity=mailbox_capacity
+                )
+
+    @staticmethod
+    def latency(src: int, dst: int, words: int = 1) -> int:
+        """End-to-end cycles for a ``words``-long message ``src -> dst``.
+
+        Nearest neighbor single-word = 15 cycles; each extra hop adds the
+        two-stage router delay; each extra word streams behind the head
+        flit at one word per cycle.  Matches the thesis's quoted 15-30
+        cycle nearest-neighbor ALU-to-ALU range for 1..16-word payloads.
+        """
+        if words < 1 or words > costs.DYNAMIC_MAX_MESSAGE_WORDS:
+            raise ValueError(
+                f"dynamic message must be 1..{costs.DYNAMIC_MAX_MESSAGE_WORDS} words"
+            )
+        hops = max(manhattan(src, dst), 1)
+        return (
+            costs.DYNAMIC_BASE_CYCLES
+            + (hops - 1) * costs.DYNAMIC_PER_HOP_CYCLES
+            + (words - 1)
+        )
+
+    def mailbox(self, tile: int) -> Channel:
+        if self.sim is None:
+            raise RuntimeError("DynamicNetwork built without a simulator")
+        return self._mailboxes[tile]
+
+    def send(self, src: int, dst: int, message, words: int = 1):
+        """Process fragment delivering ``message`` after the modeled latency.
+
+        Usage inside a tile program::
+
+            yield from dnet.send(my_tile, other_tile, payload, words=3)
+        """
+        yield Timeout(self.latency(src, dst, words))
+        yield Put(self.mailbox(dst), message)
+
+
+def route_hops(src: int, dst: int):
+    """Dimension-ordered (X then Y) hop sequence used by the dynamic net."""
+    sx, sy = tile_xy(src)
+    dx, dy = tile_xy(dst)
+    hops = []
+    x, y = sx, sy
+    while x != dx:
+        x += 1 if dx > x else -1
+        hops.append((x, y))
+    while y != dy:
+        y += 1 if dy > y else -1
+        hops.append((x, y))
+    return hops

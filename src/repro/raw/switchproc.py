@@ -1,0 +1,95 @@
+"""Static-switch processor: executes route-instruction streams.
+
+Each Raw tile has one six-stage switch processor that reconfigures the
+tile's static crossbar every cycle: a single switch instruction can move
+words on all five directions (N/S/E/W/Proc) simultaneously, and the whole
+instruction stalls until every operand word is available (section 3.3).
+
+:class:`RouteInstruction` captures one such configuration as a tuple of
+``(source_channel, destination_channel)`` moves plus a repeat count;
+:class:`SwitchProcessor` interprets a stream of them under the kernel.
+The Rotating Crossbar's compile-time scheduler emits exactly these
+streams (in pseudo-assembly and in executable form -- see
+:mod:`repro.core.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, Optional, Tuple
+
+from repro.sim.channel import Channel
+from repro.sim.kernel import Get, Put, Timeout
+
+
+@dataclass(frozen=True)
+class RouteInstruction:
+    """One switch-crossbar configuration, repeated ``repeat`` cycles.
+
+    All ``moves`` happen in the same cycle; the instruction stalls as a
+    unit until every source word is present and every destination has
+    room, which is the Raw static switch's all-or-nothing flow control.
+    Two moves naming the same source channel express *fanout* (one read,
+    several writes -- ``route $cWi->$csti, $cWi->$cEo`` on real Raw, the
+    primitive behind the header exchange and fabric multicast).  An
+    empty ``moves`` tuple is a switch ``nop`` (idles ``repeat`` cycles).
+    """
+
+    moves: Tuple[Tuple[Channel, Channel], ...]
+    repeat: int = 1
+    label: str = ""
+
+    def __post_init__(self):
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        dests = [id(d) for _, d in self.moves]
+        if len(dests) != len(set(dests)):
+            raise ValueError("route instruction drives one destination twice")
+
+    def sources(self) -> Tuple[Channel, ...]:
+        """Distinct source channels, in first-appearance order."""
+        seen = []
+        for src, _ in self.moves:
+            if not any(s is src for s in seen):
+                seen.append(src)
+        return tuple(seen)
+
+    @property
+    def words_moved(self) -> int:
+        return len(self.moves) * self.repeat
+
+
+class SwitchProcessor:
+    """Interpreter for a stream of :class:`RouteInstruction`.
+
+    The instruction stream may be any iterable, including a generator that
+    is fed by the tile processor at run time -- that is how the Rotating
+    Crossbar's "load the chosen configuration into the switch program
+    counter" step (section 6.5) is modeled.
+    """
+
+    def __init__(self, tile: int, name: Optional[str] = None):
+        self.tile = tile
+        self.name = name or f"switch@t{tile}"
+        self.words_routed = 0
+        self.instructions_executed = 0
+
+    def execute(self, program: Iterable[RouteInstruction]) -> Generator:
+        """Kernel process running ``program`` to completion."""
+        for instr in program:
+            yield from self.execute_one(instr)
+
+    def execute_one(self, instr: RouteInstruction) -> Generator:
+        sources = instr.sources()
+        for _ in range(instr.repeat):
+            self.instructions_executed += 1
+            if not instr.moves:
+                yield Timeout(1)
+                continue
+            # Read each distinct source once (fanout reuses the word).
+            values = {}
+            for src in sources:
+                values[id(src)] = yield Get(src)
+            for src, dst in instr.moves:
+                yield Put(dst, values[id(src)])
+            self.words_routed += len(instr.moves)

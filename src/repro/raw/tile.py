@@ -1,0 +1,75 @@
+"""Tile-processor programming model.
+
+A tile program is a Python generator that yields kernel commands; the
+:class:`TileProgram` base class provides the Raw-flavored vocabulary --
+``compute`` (issue n single-cycle instructions), ``mem_stall`` (block on
+the memory system), ``send``/``recv`` on register-mapped network ports --
+plus a per-tile :class:`~repro.raw.memory.DataCache` whose stall cycles
+feed back into the timing.  This is the same programming contract the
+thesis's hand-written assembly obeys: every instruction costs a cycle,
+network ports block, and cache misses stall the pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.raw import costs
+from repro.raw.memory import DataCache
+from repro.sim.channel import Channel
+from repro.sim.kernel import BUSY, Get, MEM_BLOCK, Put, Timeout
+
+
+class TileProgram:
+    """Base class for programs running on one tile processor.
+
+    Subclasses implement :meth:`run` as a generator.  The chip assembly
+    (:class:`repro.raw.chip.RawChip`) registers ``run()`` with the kernel
+    under the tile's trace key, so the time this program spends computing
+    versus blocked lands in the utilization trace (thesis Fig 7-3).
+    """
+
+    def __init__(self, tile: int, name: Optional[str] = None, cache: Optional[DataCache] = None):
+        self.tile = tile
+        self.name = name or f"{type(self).__name__}@t{tile}"
+        self.cache = cache if cache is not None else DataCache()
+
+    # -- command vocabulary (return kernel command objects) --------------
+    @staticmethod
+    def compute(cycles: int) -> Timeout:
+        """Issue ``cycles`` worth of straight-line instructions."""
+        return Timeout(cycles, BUSY)
+
+    @staticmethod
+    def mem_stall(cycles: int) -> Timeout:
+        """Stall on the memory system (cache miss service)."""
+        return Timeout(cycles, MEM_BLOCK)
+
+    @staticmethod
+    def send(channel: Channel, value: Any) -> Put:
+        """Write a word to a register-mapped network port."""
+        return Put(channel, value)
+
+    @staticmethod
+    def recv(channel: Channel) -> Get:
+        """Read a word from a register-mapped network port."""
+        return Get(channel)
+
+    # -- compound costed operations (generators to ``yield from``) -------
+    def load_words(self, addr: int, nwords: int) -> Generator:
+        """Stream ``nwords`` from local memory: 1 cycle/word + miss stalls."""
+        stall = self.cache.touch_range(addr, nwords * costs.WORD_BYTES)
+        yield self.compute(nwords * costs.MEM_TO_NET_CYCLES_PER_WORD)
+        if stall:
+            yield self.mem_stall(stall)
+
+    def store_words(self, addr: int, nwords: int) -> Generator:
+        """Buffer ``nwords`` into local memory: 2 cycles/word + miss stalls."""
+        stall = self.cache.touch_range(addr, nwords * costs.WORD_BYTES)
+        yield self.compute(nwords * costs.NET_TO_MEM_CYCLES_PER_WORD)
+        if stall:
+            yield self.mem_stall(stall)
+
+    # -- to be provided by subclasses ------------------------------------
+    def run(self) -> Generator:
+        raise NotImplementedError

@@ -1,0 +1,32 @@
+"""The Raw router (thesis chapter 4): ingress, lookup, fabric, egress.
+
+Two models of the same design:
+
+* :class:`~repro.router.router.RawRouter` -- the *phase-level* model:
+  every functional unit is a kernel process, the Rotating Crossbar
+  advances in routing quanta priced by :mod:`repro.core.phases`.  Fast
+  enough for the throughput/latency sweeps of the benchmark harness.
+* :mod:`repro.router.wordlevel` -- the *word-level* model: real words
+  cross real static-network channels through switch-processor route
+  instructions on the 4x4 chip model.  Slow but cycle-faithful; it
+  produces the per-tile utilization traces of thesis Fig 7-3 and
+  cross-validates the phase model's cycle counts.
+"""
+
+from repro.router.frags import QuantumFragment, fragment_packet
+from repro.router.stats import RouterStats
+from repro.router.router import RawRouter, RouterResult
+from repro.router.wordlevel import WordLevelRouter, WordLevelResult
+from repro.router.control import NetworkProcessor, RouteUpdate
+
+__all__ = [
+    "QuantumFragment",
+    "fragment_packet",
+    "RouterStats",
+    "RawRouter",
+    "RouterResult",
+    "WordLevelRouter",
+    "WordLevelResult",
+    "NetworkProcessor",
+    "RouteUpdate",
+]

@@ -1,0 +1,113 @@
+"""The Network Processor role: managing forwarding tables at run time.
+
+Chapter 2's case studies give the control plane's job description: "the
+network processor builds a forwarding table for each forwarding engine"
+and keeps it updated while the data plane forwards (MGR, section 2.2.1).
+The thesis's router takes routing tables as given; this module adds the
+missing piece so the repository is usable as a *router*, not just a
+switch: a :class:`NetworkProcessor` process that applies a schedule of
+route add/withdraw events to the live table while packets flow.
+
+Updates are atomic per route (a property of the PATRICIA insert/delete),
+so a concurrent lookup sees either the old or the new next hop, never a
+torn state -- asserted by the integration tests, which also check that
+every packet is delivered to the table's answer *as of its lookup time*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.ip.addr import Prefix
+from repro.ip.lookup import RoutingTable
+from repro.raw.network import DynamicNetwork
+from repro.sim.kernel import BUSY, Timeout
+
+
+@dataclass(frozen=True)
+class RouteUpdate:
+    """One control-plane event."""
+
+    cycle: int  #: when the update is applied
+    prefix: Prefix
+    port: Optional[int]  #: new next hop, or None to withdraw the route
+
+    @property
+    def is_withdraw(self) -> bool:
+        return self.port is None
+
+
+@dataclass
+class UpdateLog:
+    """What the network processor actually did, for test assertions."""
+
+    applied: List[Tuple[int, RouteUpdate]] = field(default_factory=list)
+
+    def count(self) -> int:
+        return len(self.applied)
+
+
+class NetworkProcessor:
+    """Applies a schedule of updates to a live routing table.
+
+    The update path is priced like the MGR's: the (off-fabric) control
+    processor computes the new entry, then pushes it to each Lookup
+    Processor's table memory over the dynamic network -- the static
+    networks and the crossbar never see control traffic.
+
+    Parameters
+    ----------
+    router:
+        A :class:`~repro.router.router.RawRouter`; updates mutate its
+        shared table (the thesis's per-port tables are identical copies,
+        so one shared structure models four synchronized ones, with the
+        push cost charged per port).
+    updates:
+        Schedule, in any order (sorted internally by cycle).
+    compute_cycles:
+        Control-plane work per update (route selection, table build).
+    """
+
+    def __init__(
+        self,
+        router,
+        updates: List[RouteUpdate],
+        compute_cycles: int = 200,
+    ):
+        self.router = router
+        self.updates = sorted(updates, key=lambda u: u.cycle)
+        self.compute_cycles = compute_cycles
+        self.log = UpdateLog()
+
+    def run(self) -> Generator:
+        sim = self.router.sim
+        table: RoutingTable = self.router.table
+        for update in self.updates:
+            delay = update.cycle - sim.now
+            if delay > 0:
+                yield Timeout(delay, BUSY)
+            yield Timeout(self.compute_cycles, BUSY)
+            # Push the new entry to every port's table copy over the
+            # dynamic network (per-port message latency, serialized).
+            push = sum(
+                DynamicNetwork.latency(0, layout_tile, words=3)
+                for layout_tile in self._lookup_tiles()
+            )
+            yield Timeout(push, BUSY)
+            if update.is_withdraw:
+                table.remove_route(update.prefix)
+            else:
+                table.add_route(update.prefix, update.port)
+            self.log.applied.append((sim.now, update))
+
+    def _lookup_tiles(self):
+        from repro.raw.layout import LOOKUP_TILES
+
+        if self.router.num_ports == 4:
+            return LOOKUP_TILES
+        return tuple(range(self.router.num_ports))
+
+    def attach(self) -> None:
+        """Register with the router's simulator."""
+        self.router.sim.add_process(self.run(), name="netproc")

@@ -1,0 +1,44 @@
+"""The Egress Processor (thesis section 4.2).
+
+Collects a packet's crossbar fragments (they interleave with other
+inputs' quanta), and once complete streams the reassembled packet to the
+output line card at one word per cycle, recording delivery time into the
+router's meters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.sim.kernel import BUSY, Get, Timeout
+
+
+class EgressProcessor:
+    """One port's egress pipeline stage."""
+
+    def __init__(self, port: int, router):
+        self.port = port
+        self.router = router
+        self._have: Dict[int, int] = {}  # packet id -> fragments received
+
+    def run(self) -> Generator:
+        router = self.router
+        queue = router.egress_queues[self.port]
+        stats = router.stats
+        while True:
+            frag = yield Get(queue)
+            pid = id(frag.packet)
+            got = self._have.get(pid, 0) + 1
+            if got < frag.count:
+                self._have[pid] = got
+                continue
+            self._have.pop(pid, None)
+            pkt = frag.packet
+            # Stream the complete packet to the line card: 1 word/cycle.
+            yield Timeout(pkt.total_words, BUSY)
+            pkt.departure_cycle = router.sim.now
+            stats.record_delivery(
+                router.sim.now, self.port, pkt.total_length, pkt.input_port
+            )
+            if pkt.arrival_cycle >= 0 and router.sim.now >= stats.warmup_cycles:
+                stats.latency.record(pkt.arrival_cycle, pkt.departure_cycle)

@@ -1,0 +1,92 @@
+"""The Rotating Crossbar fabric loop inside the full router.
+
+One synchronous process models the four Crossbar Processors advancing in
+lockstep routing quanta (the thesis's tiles each evaluate the identical
+deterministic rule on the exchanged headers, so a single evaluation per
+quantum is exact).  Each quantum: inspect the four head-of-line
+fragments, run the :class:`~repro.core.allocator.Allocator` (or index
+the compiled jump table, when configured to demonstrate the chapter-6
+artifact), advance the clock by the phase cost, deliver the granted
+fragments to the egress queues, rotate the token.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.core.phases import idle_quantum_cycles, quantum_cycles
+from repro.router.frags import QuantumFragment
+from repro.sim.kernel import BUSY, Get, Put, Timeout
+
+
+class RotatingCrossbarFabric:
+    """The fabric stage of :class:`~repro.router.router.RawRouter`."""
+
+    def __init__(self, router):
+        self.router = router
+
+    def run(self) -> Generator:
+        router = self.router
+        sim = router.sim
+        stats = router.stats
+        allocator = router.allocator
+        token = router.token
+        timing = router.timing
+        n = router.num_ports
+        transform = router.transform
+
+        while True:
+            # Headers phase: inspect (do not consume) each input's HOL.
+            heads: List[Optional[QuantumFragment]] = []
+            for port in range(n):
+                ready, frag = sim.peek(router.input_queues[port])
+                heads.append(frag if ready else None)
+            requests = tuple(f.dest if f is not None else None for f in heads)
+
+            if all(r is None for r in requests):
+                # One idle control quantum (headers exchanged, all empty),
+                # then park until an ingress enqueues something -- the
+                # real tiles would keep spinning header exchanges, which
+                # changes nothing observable but would keep the event
+                # queue alive forever after finite sources drain.
+                stats.quanta += 1
+                stats.idle_quanta += 1
+                yield Timeout(idle_quantum_cycles(timing), BUSY)
+                token.advance()
+                ready, _ = sim.peek(router.fabric_wake)
+                if ready:
+                    sim.try_get(router.fabric_wake)
+                    continue
+                if all(not router.input_queues[p].occupancy for p in range(n)):
+                    yield Get(router.fabric_wake)
+                continue
+            sim.try_get(router.fabric_wake)  # absorb stale wake tokens
+
+            if router.schedule is not None:
+                _, alloc = router.schedule.lookup(requests, token.master)
+            else:
+                alloc = allocator.allocate(requests, token.master)
+
+            body = 0
+            for grant in alloc.grants.values():
+                frag = heads[grant.src]
+                w = frag.words * (transform.cycles_per_word if transform else 1)
+                body = max(body, w + grant.expansion)
+            duration = (
+                quantum_cycles(0, 0, timing, router.pipelined) + body
+            )
+            stats.quanta += 1
+            stats.blocked_grants += len(alloc.blocked)
+            stats.grant_histogram[alloc.num_granted] += 1
+            yield Timeout(duration, BUSY)
+
+            for grant in alloc.grants.values():
+                ok, frag = sim.try_get(router.input_queues[grant.src])
+                assert ok, "granted input queue emptied mid-quantum"
+                if transform is not None and frag.is_last:
+                    frag.packet.payload = tuple(
+                        transform.apply(frag.packet.payload)
+                    )
+                # Blocks when the egress queue is full: output blocking.
+                yield Put(router.egress_queues[grant.dst], frag)
+            token.advance()

@@ -1,0 +1,54 @@
+"""Crossbar quanta of packets, as moved by the phase-level fabric.
+
+The phase model prices transfers by word *counts*; the fragment keeps a
+reference to the parent packet so the egress can reassemble, timestamp,
+and (in the compute extension) verify the transformed payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ip.packet import IPv4Packet
+from repro.raw import costs
+
+
+@dataclass
+class QuantumFragment:
+    """One routing quantum's worth of one packet."""
+
+    dest: int
+    words: int
+    index: int
+    count: int
+    packet: IPv4Packet
+
+    def __post_init__(self):
+        if self.words < 1:
+            raise ValueError("fragment must carry at least one word")
+        if not 0 <= self.index < self.count:
+            raise ValueError("fragment index out of range")
+
+    @property
+    def is_last(self) -> bool:
+        return self.index == self.count - 1
+
+
+def fragment_packet(
+    packet: IPv4Packet,
+    dest: int,
+    max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
+) -> List[QuantumFragment]:
+    """Split a packet into crossbar quanta (thesis section 4.3)."""
+    total = packet.total_words
+    count = (total + max_quantum_words - 1) // max_quantum_words
+    frags = []
+    remaining = total
+    for i in range(count):
+        w = min(remaining, max_quantum_words)
+        remaining -= w
+        frags.append(
+            QuantumFragment(dest=dest, words=w, index=i, count=count, packet=packet)
+        )
+    return frags

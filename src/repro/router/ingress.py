@@ -1,0 +1,84 @@
+"""The Ingress Processor (thesis section 4.2).
+
+Per packet: stream the words in from the line card (one word per cycle),
+verify the IP header checksum, decrement TTL (with the incremental
+checksum patch), hand the header to the Lookup Processor -- whose
+latency hides under the payload streaming except for tiny packets --
+fragment if the packet exceeds the crossbar transfer block, and enqueue
+the fragments toward the Crossbar Processor, blocking when the input
+queue is full (back-pressure to the external buffer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.ip.packet import IPv4Packet
+from repro.raw import costs
+from repro.router.frags import fragment_packet
+from repro.sim.channel import Channel
+from repro.sim.kernel import BUSY, Get, Put, Timeout
+
+#: Supplies the next packet for a port, or None when the source is done.
+PacketSupply = Callable[[], Optional[IPv4Packet]]
+
+
+class IngressProcessor:
+    """One port's ingress pipeline stage."""
+
+    def __init__(
+        self,
+        port: int,
+        router,  # RawRouter (kept loose to avoid an import cycle)
+        supply: Optional[PacketSupply] = None,
+        line_in: Optional[Channel] = None,
+    ):
+        if (supply is None) == (line_in is None):
+            raise ValueError("ingress needs exactly one of supply / line_in")
+        self.port = port
+        self.router = router
+        self.supply = supply
+        self.line_in = line_in
+        self.packets_in = 0
+
+    def run(self) -> Generator:
+        router = self.router
+        stats = router.stats
+        while True:
+            if self.supply is not None:
+                pkt = self.supply()
+                if pkt is None:
+                    return
+            else:
+                pkt = yield Get(self.line_in)
+                if pkt is None:  # sentinel: line card finished
+                    return
+            self.packets_in += 1
+            if pkt.arrival_cycle < 0:
+                pkt.arrival_cycle = router.sim.now
+            words = pkt.total_words
+
+            # Stream the packet in from the line (1 word/cycle); the
+            # route lookup runs on the Lookup Processor concurrently and
+            # only extends the critical path when it outlasts the payload.
+            lookup_extra = max(0, costs.LOOKUP_CYCLES - words)
+            yield Timeout(words + lookup_extra, BUSY)
+            yield Timeout(costs.INGRESS_HEADER_CYCLES, BUSY)
+
+            # Functional header path: these really run on the packet.
+            if not pkt.checksum_ok():
+                stats.checksum_drops += 1
+                continue
+            if pkt.ttl <= 1:
+                stats.ttl_drops += 1
+                continue
+            pkt.decrement_ttl()
+            out_port = router.table.lookup(pkt.dst)
+            if out_port is None or not 0 <= out_port < router.num_ports:
+                stats.ttl_drops += 1  # unroutable; folded into drop count
+                continue
+            pkt.output_port = out_port
+
+            for frag in fragment_packet(pkt, out_port, router.max_quantum_words):
+                yield Put(router.input_queues[self.port], frag)
+                router.sim.try_put(router.fabric_wake, 1)

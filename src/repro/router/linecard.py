@@ -1,0 +1,71 @@
+"""Line-card processes: paced packet sources feeding the ingress.
+
+A :class:`LineCardSource` injects packets at a configurable fraction of
+the line rate (1 word/cycle in, per the static network's edge
+bandwidth); when the ingress-side buffer is full it *drops* -- the
+thesis assumes dropping happens externally to the Raw chip (section
+4.4).  Used by the load/latency sweeps; the saturated throughput runs
+bypass it by supplying packets directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.ip.packet import IPv4Packet
+from repro.sim.channel import Channel
+from repro.sim.kernel import BUSY, Timeout
+
+
+class LineCardSource:
+    """Feeds ``count`` packets into ``line_in`` at ``offered_load``.
+
+    ``offered_load`` is a fraction of line rate: a ``W``-word packet
+    occupies the wire for ``W`` cycles, so at load ``rho`` the mean gap
+    between packet starts is ``W / rho`` cycles (geometric jitter around
+    it unless ``deterministic``).
+    """
+
+    def __init__(
+        self,
+        port: int,
+        line_in: Channel,
+        make_packet: Callable[[], Optional[IPv4Packet]],
+        offered_load: float,
+        rng: np.random.Generator,
+        count: Optional[int] = None,
+        deterministic: bool = False,
+        stats=None,
+    ):
+        if not 0.0 < offered_load <= 1.0:
+            raise ValueError("offered_load must be in (0, 1]")
+        self.port = port
+        self.line_in = line_in
+        self.make_packet = make_packet
+        self.load = offered_load
+        self.rng = rng
+        self.count = count
+        self.deterministic = deterministic
+        self.stats = stats
+        self.sent = 0
+        self.dropped = 0
+
+    def run(self, sim) -> Generator:
+        while self.count is None or self.sent < self.count:
+            pkt = self.make_packet()
+            if pkt is None:
+                return
+            words = pkt.total_words
+            # Wire occupancy plus idle gap to hit the offered load.
+            idle = words * (1.0 - self.load) / self.load
+            if not self.deterministic and idle > 0:
+                idle = self.rng.exponential(idle)
+            yield Timeout(words + int(round(idle)), BUSY)
+            pkt.arrival_cycle = sim.now
+            self.sent += 1
+            if not sim.try_put(self.line_in, pkt):
+                self.dropped += 1
+                if self.stats is not None:
+                    self.stats.line_drops += 1

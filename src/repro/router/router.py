@@ -1,0 +1,209 @@
+"""Assembly of the phase-level Raw router.
+
+:class:`RawRouter` wires one ingress, one egress, the shared Rotating
+Crossbar fabric, the routing table, and the measurement state into a
+kernel simulation; two feeding modes cover the thesis's experiments:
+
+* ``attach_saturated`` -- every input always has the next packet ready
+  (the peak / average throughput regime of sections 7.2-7.3);
+* ``attach_linecards`` -- paced line-card sources at a chosen offered
+  load (latency-vs-load sweeps, drop behaviour).
+
+The design generalizes the prototype along the axes the thesis's future
+work names: ``num_ports`` beyond 4 (section 8.5), a
+:class:`~repro.core.token.WeightedToken` for QoS (8.7), a payload
+:class:`~repro.core.compute.StreamTransform` (8.3), and the second
+static network via ``networks=2`` (8.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.allocator import Allocator
+from repro.core.compute import StreamTransform
+from repro.core.phases import DEFAULT_TIMING, PhaseTiming
+from repro.core.ring import RingGeometry
+from repro.core.scheduler import CompiledSchedule
+from repro.core.token import RotatingToken
+from repro.ip.lookup import RoutingTable
+from repro.raw import costs
+from repro.router.egress import EgressProcessor
+from repro.router.fabric import RotatingCrossbarFabric
+from repro.router.ingress import IngressProcessor
+from repro.router.linecard import LineCardSource
+from repro.router.stats import RouterStats
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Trace
+from repro.traffic.workload import PacketFactory, Workload
+
+
+class RouterResult:
+    """What a router run measured."""
+
+    def __init__(self, stats: RouterStats, cycles: int):
+        self.stats = stats
+        self.cycles = cycles
+
+    @property
+    def gbps(self) -> float:
+        return self.stats.gbps(self.cycles)
+
+    @property
+    def mpps(self) -> float:
+        return self.stats.mpps(self.cycles)
+
+    @property
+    def packets(self) -> int:
+        return self.stats.delivered_packets
+
+    def latency_summary(self):
+        return self.stats.latency.summary()
+
+
+class RawRouter:
+    """The 4-port (or N-port) single-chip router, phase-level model."""
+
+    def __init__(
+        self,
+        num_ports: int = 4,
+        table: Optional[RoutingTable] = None,
+        trace: Optional[Trace] = None,
+        networks: int = 1,
+        max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
+        timing: PhaseTiming = DEFAULT_TIMING,
+        pipelined: bool = True,
+        transform: Optional[StreamTransform] = None,
+        token: Optional[RotatingToken] = None,
+        schedule: Optional[CompiledSchedule] = None,
+        input_queue_frags: int = 64,
+        egress_queue_frags: int = 8,
+        warmup_cycles: int = 0,
+    ):
+        self.num_ports = num_ports
+        self.table = table or RoutingTable.uniform_split(num_ports)
+        self.sim = Simulator(trace=trace)
+        self.ring = RingGeometry(num_ports)
+        self.allocator = Allocator(self.ring, networks=networks)
+        self.token = token or RotatingToken(num_ports)
+        self.timing = timing
+        self.pipelined = pipelined
+        self.transform = transform
+        self.schedule = schedule
+        self.max_quantum_words = max_quantum_words
+        self.stats = RouterStats(num_ports=num_ports, warmup_cycles=warmup_cycles)
+
+        self.input_queues = [
+            self.sim.channel(f"inq{p}", capacity=input_queue_frags)
+            for p in range(num_ports)
+        ]
+        self.egress_queues = [
+            self.sim.channel(f"eq{p}", capacity=egress_queue_frags)
+            for p in range(num_ports)
+        ]
+        #: Doorbell the ingresses ring so a parked (all-idle) fabric wakes.
+        self.fabric_wake = self.sim.channel("fabric_wake", capacity=1)
+        self._fabric_started = False
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def _start_fabric_and_egress(self) -> None:
+        if self._fabric_started:
+            return
+        fabric = RotatingCrossbarFabric(self)
+        self.sim.add_process(fabric.run(), name="fabric", trace_key="fabric")
+        for port in range(self.num_ports):
+            eg = EgressProcessor(port, self)
+            self.sim.add_process(
+                eg.run(), name=f"egress{port}", trace_key=f"egress{port}"
+            )
+        self._fabric_started = True
+
+    def attach_saturated(self, workload: Workload, factory: PacketFactory) -> None:
+        """Every ingress always has its next packet ready (peak regime)."""
+        if self._attached:
+            raise RuntimeError("router already has attached sources")
+        self._start_fabric_and_egress()
+        for port in range(self.num_ports):
+
+            def supply(p: int = port):
+                pkt = factory.from_workload(workload, p)
+                if pkt is not None:
+                    pkt.arrival_cycle = self.sim.now
+                return pkt
+
+            ing = IngressProcessor(port, self, supply=supply)
+            self.sim.add_process(
+                ing.run(), name=f"ingress{port}", trace_key=f"ingress{port}"
+            )
+        self._attached = True
+
+    def attach_linecards(
+        self,
+        workload: Workload,
+        factory: PacketFactory,
+        offered_load: float,
+        rng: np.random.Generator,
+        packets_per_port: Optional[int] = None,
+        line_buffer_packets: int = 32,
+    ) -> List[LineCardSource]:
+        """Paced line-card sources at ``offered_load`` of line rate."""
+        if self._attached:
+            raise RuntimeError("router already has attached sources")
+        self._start_fabric_and_egress()
+        sources: List[LineCardSource] = []
+        for port in range(self.num_ports):
+            line_in = self.sim.channel(f"line{port}", capacity=line_buffer_packets)
+
+            def make(p: int = port):
+                return factory.from_workload(workload, p)
+
+            src = LineCardSource(
+                port,
+                line_in,
+                make,
+                offered_load,
+                rng,
+                count=packets_per_port,
+                stats=self.stats,
+            )
+            self.sim.add_process(src.run(self.sim), name=f"linecard{port}")
+            ing = IngressProcessor(port, self, line_in=line_in)
+            self.sim.add_process(
+                ing.run(), name=f"ingress{port}", trace_key=f"ingress{port}"
+            )
+            sources.append(src)
+        self._attached = True
+        return sources
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: Optional[int] = None,
+        target_packets: Optional[int] = None,
+        chunk: int = 20_000,
+    ) -> RouterResult:
+        """Advance until ``max_cycles`` or ``target_packets`` deliveries.
+
+        ``target_packets`` runs in ``chunk``-cycle slices, so the result
+        may overshoot the target by up to one slice's worth of packets.
+        """
+        if not self._attached:
+            raise RuntimeError("attach a traffic source before running")
+        if max_cycles is None and target_packets is None:
+            raise ValueError("need a stopping condition")
+        while True:
+            if max_cycles is not None:
+                self.sim.run(until=max_cycles, raise_on_deadlock=False)
+                break
+            before = self.stats.delivered_packets
+            before_now = self.sim.now
+            self.sim.run(until=self.sim.now + chunk, raise_on_deadlock=False)
+            if self.stats.delivered_packets >= target_packets:
+                break
+            if self.stats.delivered_packets == before and self.sim.now == before_now:
+                # Sources exhausted and the pipeline has fully drained.
+                break
+        return RouterResult(self.stats, self.sim.now)

@@ -1,0 +1,82 @@
+"""Router-level measurement state shared by the pipeline processes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.metrics.latency import LatencyStats
+from repro.metrics.throughput import ThroughputMeter
+
+@dataclass
+class RouterStats:
+    """Counters every stage of the router reports into.
+
+    The throughput meter only counts deliveries after ``warmup_cycles``
+    so pipeline fill does not bias the measured rate; drop counters
+    record *why* packets died (bad checksum / TTL expiry at the ingress,
+    full input queue at the line card -- the thesis assumes external
+    dropping, section 4.4).
+    """
+
+    num_ports: int
+    warmup_cycles: int = 0
+    meter: ThroughputMeter = None  # type: ignore[assignment]
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    per_port_delivered: List[int] = field(default_factory=list)
+    per_port_bits: List[int] = field(default_factory=list)
+    per_input_bits: List[int] = field(default_factory=list)
+    line_drops: int = 0
+    checksum_drops: int = 0
+    ttl_drops: int = 0
+    quanta: int = 0
+    idle_quanta: int = 0
+    blocked_grants: int = 0
+    grant_histogram: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.meter is None:
+            self.meter = ThroughputMeter(warmup_cycles=self.warmup_cycles)
+        if not self.per_port_delivered:
+            self.per_port_delivered = [0] * self.num_ports
+        if not self.per_port_bits:
+            self.per_port_bits = [0] * self.num_ports
+        if not self.per_input_bits:
+            self.per_input_bits = [0] * self.num_ports
+        if not self.grant_histogram:
+            self.grant_histogram = [0] * (self.num_ports + 1)
+
+    # ------------------------------------------------------------------
+    def record_delivery(
+        self, cycle: int, port: int, nbytes: int, input_port: int = -1
+    ) -> None:
+        self.meter.record(cycle, nbytes)
+        if cycle >= self.warmup_cycles:
+            self.per_port_delivered[port] += 1
+            self.per_port_bits[port] += nbytes * 8
+            if 0 <= input_port < self.num_ports:
+                self.per_input_bits[input_port] += nbytes * 8
+
+    def gbps(self, end_cycle: int) -> float:
+        return self.meter.gbps(end_cycle)
+
+    def mpps(self, end_cycle: int) -> float:
+        return self.meter.mpps(end_cycle)
+
+    @property
+    def delivered_packets(self) -> int:
+        return self.meter.packets
+
+    def port_share(self) -> List[float]:
+        """Egress-side bandwidth shares."""
+        total = sum(self.per_port_bits)
+        if total == 0:
+            return [0.0] * self.num_ports
+        return [b / total for b in self.per_port_bits]
+
+    def input_share(self) -> List[float]:
+        """Ingress-side bandwidth shares (what QoS token weights shift)."""
+        total = sum(self.per_input_bits)
+        if total == 0:
+            return [0.0] * self.num_ports
+        return [b / total for b in self.per_input_bits]

@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel.
+
+A minimal, cycle-based process/channel simulator in the style of SimPy,
+specialized for modeling the Raw processor's flow-controlled on-chip
+networks.  Processes are Python generators that yield command objects
+(:class:`Timeout`, :class:`Put`, :class:`Get`); channels are
+flow-controlled, fixed-capacity registers with an optional propagation
+latency, which is exactly the semantics of a Raw static-network link
+(one 32-bit word per cycle per hop, blocking when full/empty).
+
+The kernel records per-process state intervals (busy / blocked on
+transmit / blocked on receive / blocked on memory) into a
+:class:`Trace`, which is what the per-tile utilization figure
+(thesis Fig 7-3) is rendered from.
+"""
+
+from repro.sim.errors import SimulationError, DeadlockError
+from repro.sim.kernel import (
+    Simulator,
+    Process,
+    Timeout,
+    Put,
+    Get,
+    BUSY,
+    IDLE,
+    TX_BLOCK,
+    RX_BLOCK,
+    MEM_BLOCK,
+)
+from repro.sim.channel import Channel
+from repro.sim.trace import Trace, Interval
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Put",
+    "Get",
+    "Channel",
+    "Trace",
+    "Interval",
+    "SimulationError",
+    "DeadlockError",
+    "BUSY",
+    "IDLE",
+    "TX_BLOCK",
+    "RX_BLOCK",
+    "MEM_BLOCK",
+]

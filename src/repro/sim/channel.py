@@ -1,0 +1,60 @@
+"""Flow-controlled channels: the model of a Raw static-network link.
+
+A :class:`Channel` is a bounded FIFO register with an optional propagation
+``latency``.  ``Put`` succeeds immediately when a slot is free and the word
+becomes visible to ``Get`` ``latency`` cycles later; when the channel is
+full the putter blocks (Raw's static network "stalls when data is not
+available" and back-pressures when full -- thesis section 3.3).  With
+``capacity=1`` and ``latency=1`` a chain of forwarding processes sustains
+exactly one word per cycle per hop, matching the static network's
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Tuple
+
+
+class Channel:
+    """Bounded FIFO with propagation latency and blocking semantics.
+
+    The kernel manipulates the private wait queues; user code only ever
+    names channels inside ``Put``/``Get`` commands.  ``capacity`` counts
+    words resident in the link stage (in flight plus ready).
+    """
+
+    __slots__ = ("name", "capacity", "latency", "_items", "_putters", "_getters")
+
+    def __init__(self, name: str = "", capacity: int = 1, latency: int = 0):
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        if latency < 0:
+            raise ValueError("channel latency must be >= 0")
+        self.name = name
+        self.capacity = capacity
+        self.latency = latency
+        # Each item is (ready_time, value).
+        self._items: Deque[Tuple[int, Any]] = deque()
+        self._putters: Deque[Any] = deque()  # processes blocked on Put
+        self._getters: Deque[Any] = deque()  # processes blocked on Get
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, cap={self.capacity}, lat={self.latency}, "
+            f"items={len(self._items)}, putters={len(self._putters)}, "
+            f"getters={len(self._getters)})"
+        )
+
+    # -- introspection used by tests and the deadlock reporter ----------
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def peek_ready(self, now: int) -> bool:
+        """True when a word is available to a getter at cycle ``now``."""
+        return bool(self._items) and self._items[0][0] <= now

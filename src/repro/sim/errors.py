@@ -1,0 +1,23 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    In a correctly scheduled Rotating Crossbar this never happens (the
+    compile-time scheduler only emits conflict-free, forward-progressing
+    routes -- thesis section 5.5); the kernel surfaces it loudly so that
+    schedule bugs are caught by tests rather than hanging the simulation.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        names = ", ".join(p.name for p in self.blocked)
+        super().__init__(
+            f"simulation deadlock: event queue empty with {len(self.blocked)} "
+            f"blocked process(es): {names}"
+        )

@@ -1,0 +1,326 @@
+"""The event loop: generator processes over flow-controlled channels.
+
+Processes yield command objects and are resumed by the kernel:
+
+``Timeout(n, state=BUSY)``
+    Spend ``n`` cycles in ``state`` (busy computing, or blocked on the
+    memory system when ``state=MEM_BLOCK``).
+
+``Put(channel, value)``
+    Write a word to a channel.  Completes in the same cycle when the
+    channel has a free slot; otherwise the process blocks (recorded as
+    ``TX_BLOCK`` in the trace) until a slot frees up.
+
+``Get(channel)``
+    Read a word.  Completes in the same cycle when a word is ready;
+    otherwise blocks (``RX_BLOCK``).  The read value is the result of the
+    ``yield`` expression.
+
+This is deliberately the programming model of a Raw tile: register-mapped
+network ports with blocking reads/writes, plus a cycle cost for every
+instruction executed (expressed as Timeouts by the tile-program code in
+:mod:`repro.raw` and :mod:`repro.router`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional
+
+from repro.sim.channel import Channel
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.trace import Trace
+
+# Canonical trace states (thesis Fig 7-3 distinguishes computing from
+# "blocked on transmit, receive, or cache miss").
+BUSY = "busy"
+IDLE = "idle"
+TX_BLOCK = "tx"
+RX_BLOCK = "rx"
+MEM_BLOCK = "mem"
+
+BLOCKED_STATES = frozenset({TX_BLOCK, RX_BLOCK, MEM_BLOCK})
+
+
+class Timeout:
+    """Advance the process's local clock by ``delay`` cycles."""
+
+    __slots__ = ("delay", "state")
+
+    def __init__(self, delay: int, state: str = BUSY):
+        if delay < 0:
+            raise ValueError("Timeout delay must be >= 0")
+        self.delay = delay
+        self.state = state
+
+
+class Put:
+    """Write ``value`` into ``channel`` (blocking when full)."""
+
+    __slots__ = ("channel", "value")
+
+    def __init__(self, channel: Channel, value: Any):
+        self.channel = channel
+        self.value = value
+
+
+class Get:
+    """Read a word from ``channel`` (blocking when empty)."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: Channel):
+        self.channel = channel
+
+
+class Process:
+    """A running generator plus its bookkeeping."""
+
+    __slots__ = (
+        "gen",
+        "name",
+        "trace_key",
+        "alive",
+        "result",
+        "_block_start",
+        "_block_state",
+    )
+
+    def __init__(self, gen: Generator, name: str, trace_key: Optional[str]):
+        self.gen = gen
+        self.name = name
+        self.trace_key = trace_key
+        self.alive = True
+        self.result: Any = None
+        self._block_start: int = -1
+        self._block_state: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, alive={self.alive})"
+
+
+class Simulator:
+    """Cycle-based discrete-event simulator.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`Trace` receiving state intervals of processes
+        created with a ``trace_key``.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None):
+        self.now: int = 0
+        self.trace = trace
+        self._heap: List[tuple] = []
+        self._ready: Deque[tuple] = deque()  # (process, send_value)
+        self._seq = 0
+        self._processes: List[Process] = []
+        self._blocked: Dict[int, Process] = {}
+
+    # ------------------------------------------------------------------
+    def add_process(
+        self,
+        gen: Generator,
+        name: str = "proc",
+        trace_key: Optional[str] = None,
+    ) -> Process:
+        """Register a generator as a process starting at the current cycle."""
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"process {name!r} is not a generator")
+        proc = Process(gen, name, trace_key)
+        self._processes.append(proc)
+        self._ready.append((proc, None))
+        return proc
+
+    def channel(self, name: str = "", capacity: int = 1, latency: int = 0) -> Channel:
+        return Channel(name=name, capacity=capacity, latency=latency)
+
+    # ------------------------------------------------------------------
+    def _schedule(self, time: int, kind: str, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+
+    def _record(self, proc: Process, state: str, start: int, end: int) -> None:
+        if self.trace is not None and proc.trace_key is not None:
+            self.trace.record(proc.trace_key, state, start, end)
+
+    def _mark_blocked(self, proc: Process, state: str) -> None:
+        proc._block_start = self.now
+        proc._block_state = state
+        self._blocked[id(proc)] = proc
+
+    def _unblock(self, proc: Process, value: Any) -> None:
+        self._blocked.pop(id(proc), None)
+        if proc._block_start >= 0:
+            self._record(proc, proc._block_state, proc._block_start, self.now)
+            proc._block_start = -1
+        self._ready.append((proc, value))
+
+    # ------------------------------------------------------------------
+    # Non-blocking channel access for synchronous controllers (the
+    # Rotating Crossbar's fabric loop inspects four head-of-line queues
+    # and consumes only the granted ones; a blocking Get cannot express
+    # that).  Only call these from *inside* a running process.
+    def peek(self, ch: Channel):
+        """(True, value) if a word is ready now, else (False, None).
+        Does not consume the word."""
+        if ch.peek_ready(self.now):
+            return True, ch._items[0][1]
+        return False, None
+
+    def try_get(self, ch: Channel):
+        """Consume a ready word: (True, value), or (False, None)."""
+        if not ch.peek_ready(self.now):
+            return False, None
+        _, value = ch._items.popleft()
+        if ch._putters:
+            self._service_channel(ch)
+        return True, value
+
+    def try_put(self, ch: Channel, value: Any) -> bool:
+        """Deposit a word if there is room; False when the channel is full
+        (lets line-card models drop instead of blocking, matching the
+        thesis's externally-dropping FIFO assumption)."""
+        if ch.is_full:
+            return False
+        ch._items.append((self.now + ch.latency, value))
+        if ch._getters:
+            ready_at = ch._items[0][0]
+            if ready_at <= self.now:
+                self._service_channel(ch)
+            else:
+                self._schedule(ready_at, "service", ch)
+        return True
+
+    # ------------------------------------------------------------------
+    def _service_channel(self, ch: Channel) -> None:
+        """Move words/waiters through a channel at the current cycle."""
+        progressed = True
+        while progressed:
+            progressed = False
+            # Deliver ready words to blocked getters.
+            if ch._getters and ch.peek_ready(self.now):
+                _, value = ch._items.popleft()
+                getter = ch._getters.popleft()
+                self._unblock(getter, value)
+                progressed = True
+                continue
+            # Admit blocked putters into freed slots.
+            if ch._putters and not ch.is_full:
+                putter, value = ch._putters.popleft()
+                ch._items.append((self.now + ch.latency, value))
+                self._unblock(putter, None)
+                progressed = True
+                continue
+        # If getters remain and a word is merely in flight, wake later.
+        if ch._getters and ch._items:
+            ready_at = ch._items[0][0]
+            if ready_at > self.now:
+                self._schedule(ready_at, "service", ch)
+
+    # ------------------------------------------------------------------
+    def _step(self, proc: Process, send_value: Any) -> None:
+        """Run one process until it blocks, sleeps, or terminates."""
+        gen = proc.gen
+        while True:
+            try:
+                cmd = gen.send(send_value)
+            except StopIteration as stop:
+                proc.alive = False
+                proc.result = stop.value
+                return
+            send_value = None
+
+            if isinstance(cmd, Timeout):
+                if cmd.delay == 0:
+                    continue
+                self._record(proc, cmd.state, self.now, self.now + cmd.delay)
+                self._schedule(self.now + cmd.delay, "resume", (proc, None))
+                return
+
+            if isinstance(cmd, Put):
+                ch = cmd.channel
+                if not ch.is_full:
+                    ch._items.append((self.now + ch.latency, cmd.value))
+                    if ch._getters:
+                        ready_at = ch._items[0][0]
+                        if ready_at <= self.now:
+                            self._service_channel(ch)
+                        else:
+                            self._schedule(ready_at, "service", ch)
+                    continue  # put completed this cycle
+                ch._putters.append((proc, cmd.value))
+                self._mark_blocked(proc, TX_BLOCK)
+                return
+
+            if isinstance(cmd, Get):
+                ch = cmd.channel
+                if ch.peek_ready(self.now):
+                    _, value = ch._items.popleft()
+                    if ch._putters:
+                        self._service_channel(ch)
+                    send_value = value
+                    continue  # get completed this cycle
+                ch._getters.append(proc)
+                self._mark_blocked(proc, RX_BLOCK)
+                if ch._items:  # word in flight; wake when it lands
+                    self._schedule(ch._items[0][0], "service", ch)
+                return
+
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported command {cmd!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, raise_on_deadlock: bool = True) -> int:
+        """Run until the event queue drains or ``until`` cycles have elapsed.
+
+        Returns the final simulation time.  If the queue drains *before*
+        ``until``, the clock stays at the last event (nothing can happen
+        in between, and measurement code divides by elapsed time).  When
+        the queue drains while processes remain blocked on channels, a
+        :class:`DeadlockError` is raised unless ``raise_on_deadlock`` is
+        false (useful for open-ended pipelines whose sources finished).
+        """
+        while True:
+            while self._ready:
+                proc, value = self._ready.popleft()
+                if proc.alive:
+                    self._step(proc, value)
+            if not self._heap:
+                break
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            # Pop every event at this timestamp, then run ready processes.
+            self.now = time
+            while self._heap and self._heap[0][0] == time:
+                _, _, kind, payload = heapq.heappop(self._heap)
+                if kind == "resume":
+                    p, v = payload
+                    if p.alive:
+                        self._ready.append((p, v))
+                elif kind == "service":
+                    self._service_channel(payload)
+
+        blocked = [p for p in self._blocked.values() if p.alive]
+        if blocked and raise_on_deadlock and until is None:
+            raise DeadlockError(blocked)
+        return self.now
+
+
+def run_processes(
+    *gens: Generator,
+    until: Optional[int] = None,
+    trace: Optional[Trace] = None,
+    raise_on_deadlock: bool = True,
+) -> Simulator:
+    """Convenience: build a simulator, add ``gens``, run, return it."""
+    sim = Simulator(trace=trace)
+    for i, gen in enumerate(gens):
+        sim.add_process(gen, name=f"proc{i}")
+    sim.run(until=until, raise_on_deadlock=raise_on_deadlock)
+    return sim

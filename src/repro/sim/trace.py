@@ -1,0 +1,76 @@
+"""Per-process state tracing.
+
+The kernel appends an :class:`Interval` each time a traced process spends
+a non-zero span of cycles in one state.  States are short strings
+(``"busy"``, ``"tx"``, ``"rx"``, ``"mem"``, ``"idle"``); the utilization
+metrics (:mod:`repro.metrics.utilization`) and the ASCII timeline renderer
+(:mod:`repro.viz.timeline`) consume these intervals directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import defaultdict
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open span ``[start, end)`` of cycles spent in ``state``."""
+
+    key: str
+    state: str
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class Trace:
+    """Collects state intervals keyed by process trace key.
+
+    Parameters
+    ----------
+    start, stop:
+        Optional window; intervals entirely outside ``[start, stop)`` are
+        dropped and partially-overlapping intervals are clipped.  Keeping
+        the window small (e.g. the 800 cycles of thesis Fig 7-3) bounds
+        memory during long simulations.
+    """
+
+    def __init__(self, start: int = 0, stop: int | None = None):
+        self.start = start
+        self.stop = stop
+        self._by_key: Dict[str, List[Interval]] = defaultdict(list)
+
+    def record(self, key: str, state: str, start: int, end: int) -> None:
+        if end <= start:
+            return
+        if self.stop is not None:
+            if start >= self.stop or end <= self.start:
+                return
+            start = max(start, self.start)
+            end = min(end, self.stop)
+        self._by_key[key].append(Interval(key, state, start, end))
+
+    def keys(self) -> List[str]:
+        return sorted(self._by_key)
+
+    def intervals(self, key: str) -> List[Interval]:
+        return sorted(self._by_key.get(key, []), key=lambda iv: iv.start)
+
+    def all_intervals(self) -> List[Interval]:
+        out: List[Interval] = []
+        for key in self.keys():
+            out.extend(self.intervals(key))
+        return out
+
+    def time_in_state(self, key: str, state: str) -> int:
+        return sum(iv.length for iv in self._by_key.get(key, ()) if iv.state == state)
+
+    def horizon(self) -> int:
+        """Largest ``end`` recorded across all keys (0 if empty)."""
+        ends = [iv.end for ivs in self._by_key.values() for iv in ivs]
+        return max(ends, default=0)

@@ -1,0 +1,49 @@
+"""Workload generation: destination patterns, arrivals, packet sizes.
+
+The thesis's evaluation uses two traffic regimes: conflict-free
+permutation traffic for peak rate (section 7.2) and uniform traffic
+"under complete fairness" for the average rate (section 7.3).  This
+package provides those plus the bursty / hotspot / IMIX generators the
+wider experiments (baseline switches, QoS, multicast) need, and the
+line-card processes that feed packets into the simulated router.
+"""
+
+from repro.traffic.patterns import (
+    DestinationPattern,
+    UniformDestinations,
+    FixedPermutation,
+    RotatingPermutation,
+    HotspotDestinations,
+    BurstyDestinations,
+)
+from repro.traffic.sizes import (
+    SizeDistribution,
+    FixedSize,
+    IMix,
+    UniformSizes,
+    BimodalSizes,
+    PAPER_SIZES,
+)
+from repro.traffic.arrivals import ArrivalProcess, Saturated, Bernoulli
+from repro.traffic.workload import Workload, PacketFactory, fabric_source
+
+__all__ = [
+    "DestinationPattern",
+    "UniformDestinations",
+    "FixedPermutation",
+    "RotatingPermutation",
+    "HotspotDestinations",
+    "BurstyDestinations",
+    "SizeDistribution",
+    "FixedSize",
+    "IMix",
+    "UniformSizes",
+    "BimodalSizes",
+    "PAPER_SIZES",
+    "ArrivalProcess",
+    "Saturated",
+    "Bernoulli",
+    "Workload",
+    "PacketFactory",
+    "fabric_source",
+]

@@ -1,0 +1,50 @@
+"""Arrival processes: when packets show up at an input."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Answers "does this input offer a packet right now?" per poll."""
+
+    def offers(self, port: int) -> bool:
+        raise NotImplementedError
+
+    @property
+    def load(self) -> float:
+        """Nominal offered load in [0, 1] (1 = saturated)."""
+        raise NotImplementedError
+
+
+class Saturated(ArrivalProcess):
+    """Inputs always backlogged -- the peak/average measurement regime."""
+
+    def offers(self, port: int) -> bool:
+        return True
+
+    @property
+    def load(self) -> float:
+        return 1.0
+
+
+class Bernoulli(ArrivalProcess):
+    """Each poll independently offers a packet with probability ``p``.
+
+    Under the quantum-per-poll fabric driver this approximates a
+    Bernoulli-per-slot arrival process, the standard load model in the
+    crossbar-scheduling literature (iSLIP, HOL analyses).
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be a probability")
+        self.p = p
+        self.rng = rng
+
+    def offers(self, port: int) -> bool:
+        return bool(self.rng.random() < self.p)
+
+    @property
+    def load(self) -> float:
+        return self.p

@@ -1,0 +1,131 @@
+"""Destination patterns: who sends to whom."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class DestinationPattern:
+    """Produces the destination port of each successive packet of an input."""
+
+    def __init__(self, num_ports: int):
+        if num_ports < 2:
+            raise ValueError("need at least two ports")
+        self.n = num_ports
+
+    def next_dest(self, port: int) -> int:
+        raise NotImplementedError
+
+
+class UniformDestinations(DestinationPattern):
+    """Uniform iid destinations -- the thesis's average-rate traffic.
+
+    ``exclude_self`` matches a router testbench (traffic entering a port
+    is never destined back out the same port); with it on, the measured
+    average/peak ratio lands on the thesis's ~69%.
+    """
+
+    def __init__(self, num_ports: int, rng: np.random.Generator, exclude_self: bool = True):
+        super().__init__(num_ports)
+        self.rng = rng
+        self.exclude_self = exclude_self
+
+    def next_dest(self, port: int) -> int:
+        if not self.exclude_self:
+            return int(self.rng.integers(0, self.n))
+        dest = int(self.rng.integers(0, self.n - 1))
+        return dest if dest < port else dest + 1
+
+
+class FixedPermutation(DestinationPattern):
+    """Conflict-free peak traffic: port i -> perm[i], forever."""
+
+    def __init__(self, perm: Sequence[int]):
+        super().__init__(len(perm))
+        if sorted(perm) != list(range(len(perm))):
+            raise ValueError(f"{perm!r} is not a permutation")
+        self.perm = list(perm)
+
+    def next_dest(self, port: int) -> int:
+        return self.perm[port]
+
+    @classmethod
+    def shift(cls, num_ports: int, k: int = 2) -> "FixedPermutation":
+        """The i -> (i+k) mod N pattern (k=2 exercises the worst-case
+        ring expansion on the 4-port prototype, as in Fig 5-1)."""
+        return cls([(i + k) % num_ports for i in range(num_ports)])
+
+
+class RotatingPermutation(DestinationPattern):
+    """A different conflict-free permutation per packet round."""
+
+    def __init__(self, num_ports: int):
+        super().__init__(num_ports)
+        self._round = [0] * num_ports
+
+    def next_dest(self, port: int) -> int:
+        k = self._round[port] % (self.n - 1) + 1  # never self
+        self._round[port] += 1
+        return (port + k) % self.n
+
+
+class HotspotDestinations(DestinationPattern):
+    """Every input prefers output ``hot`` with probability ``p_hot``."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        rng: np.random.Generator,
+        hot: int = 0,
+        p_hot: float = 0.5,
+    ):
+        super().__init__(num_ports)
+        if not 0.0 <= p_hot <= 1.0:
+            raise ValueError("p_hot must be a probability")
+        if not 0 <= hot < num_ports:
+            raise ValueError("hot port out of range")
+        self.rng = rng
+        self.hot = hot
+        self.p_hot = p_hot
+
+    def next_dest(self, port: int) -> int:
+        if self.rng.random() < self.p_hot:
+            return self.hot
+        return int(self.rng.integers(0, self.n))
+
+
+class BurstyDestinations(DestinationPattern):
+    """On/off bursts: a whole burst of packets shares one destination.
+
+    Models TCP-like trains; burst lengths are geometric with mean
+    ``mean_burst``.  Correlated destinations stress head-of-line
+    behaviour much harder than iid traffic.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        rng: np.random.Generator,
+        mean_burst: float = 8.0,
+        exclude_self: bool = True,
+    ):
+        super().__init__(num_ports)
+        if mean_burst < 1.0:
+            raise ValueError("mean burst length must be >= 1")
+        self.rng = rng
+        self.p_end = 1.0 / mean_burst
+        self.exclude_self = exclude_self
+        self._current: List[Optional[int]] = [None] * num_ports
+
+    def next_dest(self, port: int) -> int:
+        cur = self._current[port]
+        if cur is None or self.rng.random() < self.p_end:
+            if self.exclude_self:
+                d = int(self.rng.integers(0, self.n - 1))
+                cur = d if d < port else d + 1
+            else:
+                cur = int(self.rng.integers(0, self.n))
+            self._current[port] = cur
+        return cur

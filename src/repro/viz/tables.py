@@ -1,0 +1,55 @@
+"""Plain-text result tables shared by the benchmarks and experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table; floats rendered with 3 significant decimals."""
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in cells), default=0))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_comparison(
+    rows: Sequence[Dict[str, object]],
+    label_key: str = "label",
+    measured_key: str = "measured",
+    paper_key: str = "paper",
+    title: Optional[str] = None,
+) -> str:
+    """Paper-vs-measured table with the ratio column EXPERIMENTS.md uses."""
+    table_rows = []
+    for row in rows:
+        measured = row[measured_key]
+        paper = row.get(paper_key)
+        if isinstance(measured, (int, float)) and isinstance(paper, (int, float)) and paper:
+            ratio = f"{measured / paper:.2f}"
+        else:
+            ratio = "-"
+        table_rows.append([row[label_key], measured, paper if paper is not None else "-", ratio])
+    return format_table(
+        ["case", "measured", "paper", "ratio"], table_rows, title=title
+    )

@@ -1,0 +1,41 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import REGISTRY, main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY:
+            assert name in out
+
+    def test_registry_covers_paper_artifacts(self):
+        for required in ("fig7_1_peak", "fig7_1_avg", "fig7_3", "fig5_1", "table6_1"):
+            assert required in REGISTRY
+
+
+class TestRun:
+    def test_run_fig5_1(self, capsys):
+        assert main(["run", "fig5_1"]) == 0
+        out = capsys.readouterr().out
+        assert "cw" in out and "measured" in out
+
+    def test_run_quick_quantum_ablation(self, capsys):
+        assert main(["run", "abl_quantum", "--quick"]) == 0
+        assert "quantum_256w" in capsys.readouterr().out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "fig5_1", "table6_1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5_1" in out and "table6_1" in out
+
+    def test_unknown_name(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

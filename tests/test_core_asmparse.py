@@ -1,0 +1,165 @@
+"""Executing the compile-time scheduler's emitted assembly.
+
+The round trip chapter 6 promises: headers + token -> jump table ->
+per-tile listings -> (parse) -> route instructions -> words taking the
+scheduled paths on real channels.
+"""
+
+import pytest
+
+from repro.core.asmparse import (
+    AsmParseError,
+    listing_word_counts,
+    make_resolver,
+    parse_listing,
+)
+from repro.core.ring import RingGeometry
+from repro.core.scheduler import CompileTimeScheduler, default_port_maps
+from repro.raw.switchproc import RouteInstruction, SwitchProcessor
+from repro.sim.kernel import Get, Put, Simulator
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return CompileTimeScheduler(RingGeometry(4)).compile()
+
+
+class TestParser:
+    def test_simple_route(self):
+        sim = Simulator()
+        a, b = sim.channel("a"), sim.channel("b")
+        prog = parse_listing(
+            ["  route $cWi->$cEo  ; x5 steady"],
+            make_resolver({"$cWi": a, "$cEo": b}),
+        )
+        assert len(prog) == 1
+        assert prog[0].repeat == 5
+        assert prog[0].moves == ((a, b),)
+
+    def test_multi_move_line(self):
+        sim = Simulator()
+        chans = {n: sim.channel(n) for n in ("$cWi", "$cEo", "$cSi", "$cNo")}
+        prog = parse_listing(
+            ["  route $cWi->$cEo, route $cSi->$cNo"],
+            make_resolver(chans),
+        )
+        assert len(prog[0].moves) == 2
+
+    def test_nop_and_labels_and_jump(self):
+        prog = parse_listing(
+            [
+                "cfg3:  ; out<-None cw<-None ccw<-None exp=0",
+                "  nop  ; x7 idle quantum",
+                "  j $swPC  ; return to dispatch",
+                "  route $cWi->$cEo  ; unreachable after j",
+            ],
+            make_resolver({}),
+        )
+        assert len(prog) == 1
+        assert prog[0].moves == () and prog[0].repeat == 7
+
+    def test_rejects_bad_direction(self):
+        sim = Simulator()
+        chans = {n: sim.channel(n) for n in ("$cWi", "$cEo")}
+        with pytest.raises(AsmParseError):
+            parse_listing(["  route $cEo->$cWi"], make_resolver(chans))
+
+    def test_rejects_junk(self):
+        with pytest.raises(AsmParseError):
+            parse_listing(["  frobnicate $cWi"], make_resolver({}))
+        with pytest.raises(AsmParseError):
+            parse_listing(["  route $cWi->$cEo garbage"], make_resolver({}))
+
+    def test_unbound_port(self):
+        with pytest.raises(AsmParseError):
+            parse_listing(["  route $cWi->$cEo"], make_resolver({}))
+
+
+class TestExecuteGeneratedCode:
+    def test_single_flow_end_to_end(self, schedule):
+        """Compile (2, None, None, None) @ token 0 -- a 2-hop clockwise
+        flow -- parse each ring tile's listing, execute all three on one
+        simulator, and watch the words arrive in order at output 2."""
+        quantum = 8
+        ids, alloc = schedule.lookup((None if False else 2, None, None, None), 0)
+        port_maps = default_port_maps()
+        sim = Simulator()
+        # Fabric channels: ingress->t0, ring cw links, t2->egress.
+        in0 = sim.channel("in0", capacity=4, latency=1)
+        cw = {
+            i: sim.channel(f"cw{i}", capacity=4, latency=1) for i in range(4)
+        }
+        out2 = sim.channel("out2", capacity=4, latency=1)
+        # Bind each tile's mnemonics to the shared channels.
+        resolvers = {
+            0: {"$cWi": in0, "$cEo": cw[0]},
+            1: {"$cWi": cw[0], "$cSo": cw[1]},
+            2: {"$cNi": cw[1], "$cSo": out2},
+        }
+        # Confirm the mnemonic bindings against the real port maps
+        # (tile 5 feeds east to 6, 6 south to 10, 10 south to egress 14).
+        assert port_maps[0].client_port("in") == "$cWi"
+        assert port_maps[0].server_port("cwnext") == "$cEo"
+        assert port_maps[1].client_port("cwprev") == "$cWi"
+        assert port_maps[1].server_port("cwnext") == "$cSo"
+        assert port_maps[2].client_port("cwprev") == "$cNi"
+        assert port_maps[2].server_port("out") == "$cSo"
+
+        got = []
+
+        def feeder():
+            for i in range(quantum):
+                yield Put(in0, 100 + i)
+
+        def collector():
+            for _ in range(quantum):
+                got.append((yield Get(out2)))
+
+        sim.add_process(feeder(), "feeder")
+        for ring_index in (0, 1, 2):
+            listing = schedule.assembly_for(
+                ids[ring_index], port_maps[ring_index], quantum_words=quantum
+            )
+            program = parse_listing(
+                listing, make_resolver(resolvers[ring_index])
+            )
+            sp = SwitchProcessor(ring_index)
+            sim.add_process(sp.execute(iter(program)), f"sw{ring_index}")
+        sim.add_process(collector(), "collector")
+        sim.run(raise_on_deadlock=False)
+        assert got == [100 + i for i in range(quantum)]
+        # 8 words through 3 hops: pipeline depth on top of the stream.
+        assert sim.now <= quantum + 8
+
+    def test_word_counts_match_config(self, schedule):
+        """Statically: each tile's parsed body moves exactly the words
+        its local configuration owes (quantum per active server, spread
+        across fill/steady/drain)."""
+        quantum = 16
+        ids, _ = schedule.lookup((2, 3, 0, 1), 0)
+        pm = default_port_maps()
+        sim = Simulator()
+        for ring_index in range(4):
+            listing = schedule.assembly_for(ids[ring_index], pm[ring_index], quantum)
+            names = {
+                n: sim.channel(f"t{ring_index}{n}")
+                for n in ("$cNi", "$cSi", "$cEi", "$cWi", "$cNo", "$cSo", "$cEo", "$cWo")
+            }
+            program = parse_listing(listing, make_resolver(names))
+            cfg = schedule.config(ids[ring_index])
+            moved = listing_word_counts(program)
+            assert moved == cfg.servers_in_use() * quantum
+
+    def test_every_config_parses(self, schedule):
+        """All 27 minimized configurations produce parseable listings on
+        every crossbar tile."""
+        sim = Simulator()
+        for pm in default_port_maps():
+            names = {
+                n: sim.channel(n + str(pm.tile))
+                for n in ("$cNi", "$cSi", "$cEi", "$cWi", "$cNo", "$cSo", "$cEo", "$cWo")
+            }
+            resolver = make_resolver(names)
+            for cid in range(schedule.minimization.minimized_size):
+                listing = schedule.assembly_for(cid, pm, quantum_words=32)
+                parse_listing(listing, resolver)  # must not raise

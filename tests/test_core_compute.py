@@ -1,0 +1,87 @@
+"""In-fabric stream transforms (section 8.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute import ByteSwap, Identity, RunningChecksum, XorCipher
+from repro.core.phases import DEFAULT_TIMING
+
+word = st.integers(min_value=0, max_value=0xFFFFFFFF)
+words = st.lists(word, min_size=0, max_size=200)
+
+
+class TestIdentity:
+    def test_passthrough(self):
+        assert Identity().apply([1, 2, 3]) == [1, 2, 3]
+
+    def test_unit_cost(self):
+        assert Identity().cycles_per_word == 1
+
+
+class TestXorCipher:
+    def test_changes_payload(self):
+        c = XorCipher(seed=1)
+        data = [0] * 16
+        assert c.apply(data) != data
+
+    def test_deterministic_per_seed(self):
+        a = XorCipher(seed=7).apply([1, 2, 3])
+        b = XorCipher(seed=7).apply([1, 2, 3])
+        c = XorCipher(seed=8).apply([1, 2, 3])
+        assert a == b != c
+
+    @given(words, st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=100)
+    def test_involution(self, data, seed):
+        """encrypt(encrypt(x)) == x for the same keystream seed."""
+        c = XorCipher(seed)
+        assert c.apply(c.apply(data)) == data
+
+    @given(words, st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=50)
+    def test_stays_32_bit(self, data, seed):
+        for w in XorCipher(seed).apply(data):
+            assert 0 <= w <= 0xFFFFFFFF
+
+
+class TestByteSwap:
+    def test_known_value(self):
+        assert ByteSwap().apply([0x01020304]) == [0x04030201]
+
+    @given(words)
+    @settings(max_examples=100)
+    def test_involution(self, data):
+        b = ByteSwap()
+        assert b.apply(b.apply(data)) == data
+
+
+class TestRunningChecksum:
+    def test_passes_data_through(self):
+        t = RunningChecksum()
+        data = [5, 6, 7]
+        assert t.apply(data) == data
+
+    def test_checksum_depends_on_data(self):
+        a = RunningChecksum()
+        a.apply([1, 2, 3])
+        b = RunningChecksum()
+        b.apply([1, 2, 4])
+        assert a.last_checksum != b.last_checksum
+
+    @given(words)
+    @settings(max_examples=50)
+    def test_checksum_order_sensitive_but_bounded(self, data):
+        t = RunningChecksum()
+        t.apply(data)
+        assert 0 <= t.last_checksum <= 0xFFFFFFFF
+
+
+class TestCosting:
+    def test_body_cycles_scale_with_cost(self):
+        assert Identity().body_cycles(100, 2) == 102
+        assert XorCipher(0).body_cycles(100, 2) == 202
+
+    def test_quantum_cycles_include_control(self):
+        q = ByteSwap().quantum_cycles(64, 1)
+        assert q == DEFAULT_TIMING.control_total + 65

@@ -1,0 +1,107 @@
+"""Configuration space enumeration and minimization (chapter 6)."""
+
+import pytest
+
+from repro.core.allocator import Allocator
+from repro.core.config_space import (
+    CLIENT_CCWPREV,
+    CLIENT_CWPREV,
+    CLIENT_IN,
+    ConfigurationSpace,
+    LocalConfig,
+)
+from repro.core.ring import RingGeometry
+
+
+@pytest.fixture(scope="module")
+def space4():
+    return ConfigurationSpace(RingGeometry(4))
+
+
+@pytest.fixture(scope="module")
+def minimized4(space4):
+    return space4.minimize()
+
+
+class TestGlobalSpace:
+    def test_size_formula(self, space4):
+        # |Hdr|^4 x |Token| = 5^4 x 4 = 2,500 (section 6.1).
+        assert space4.global_size() == 2500
+
+    def test_enumeration_count_and_uniqueness(self, space4):
+        configs = list(space4.enumerate_global())
+        assert len(configs) == 2500
+        assert len(set(configs)) == 2500
+
+    def test_other_ring_sizes(self):
+        assert ConfigurationSpace(RingGeometry(2)).global_size() == 3 ** 2 * 2
+        assert ConfigurationSpace(RingGeometry(3)).global_size() == 4 ** 3 * 3
+
+    def test_naive_imem_budget(self, space4):
+        # "approximately 3.3 instructions left per each configuration"
+        assert 8192 / space4.global_size() == pytest.approx(3.28, abs=0.01)
+
+
+class TestLocalProjection:
+    def test_fig51_projection(self, space4):
+        alloc = space4.allocator.allocate((2, 3, 0, 1), 0)
+        locals_ = space4.local_configs_for(alloc)
+        # Tile 0: sends its own packet cw (in -> cwnext) and delivers
+        # 2's cw flow to its egress (cwprev -> out).
+        assert locals_[0].cwnext_src == CLIENT_IN
+        assert locals_[0].out_src == CLIENT_CWPREV
+        # Tile 1: forwards 0's cw flow, starts its own ccw flow, and
+        # receives 3's ccw flow for its egress.
+        assert locals_[1].cwnext_src == CLIENT_CWPREV
+        assert locals_[1].ccwnext_src == CLIENT_IN
+        assert locals_[1].out_src == CLIENT_CCWPREV
+
+    def test_idle_tile_config(self, space4):
+        alloc = space4.allocator.allocate((None, None, None, None), 0)
+        for cfg in space4.local_configs_for(alloc):
+            assert cfg.servers_in_use() == 0
+            assert cfg.expansion == 0
+
+    def test_direct_self_route(self, space4):
+        alloc = space4.allocator.allocate((0, None, None, None), 0)
+        cfg = space4.local_configs_for(alloc)[0]
+        assert cfg.out_src == CLIENT_IN
+        assert cfg.expansion == 0
+
+    def test_expansion_tracks_hops(self, space4):
+        alloc = space4.allocator.allocate((2, None, None, None), 0)
+        locals_ = space4.local_configs_for(alloc)
+        assert locals_[0].expansion == 0
+        assert locals_[1].expansion == 1
+        assert locals_[2].expansion == 2
+
+
+class TestMinimization:
+    def test_minimized_size_near_paper(self, minimized4):
+        # The thesis reports 32; our allocator's reachable set is 40
+        # (documented in EXPERIMENTS.md).  Same order of magnitude and
+        # a >60x reduction either way.
+        assert 20 <= minimized4.minimized_size <= 64
+        assert minimized4.reduction_factor > 38
+
+    def test_usage_covers_all_walks(self, minimized4):
+        # 2,500 global configs x 4 tiles = 10,000 local occurrences.
+        assert sum(minimized4.usage.values()) == 10_000
+
+    def test_config_ids_stable_and_dense(self, minimized4):
+        ids = [minimized4.config_id(c) for c in minimized4.local_configs]
+        assert ids == list(range(minimized4.minimized_size))
+
+    def test_post_minimization_imem_budget(self, minimized4):
+        assert minimized4.instructions_per_config(8192) > 100
+
+    def test_clients_match_table_6_1(self, minimized4):
+        allowed = {CLIENT_IN, CLIENT_CWPREV, CLIENT_CCWPREV}
+        for cfg in minimized4.local_configs:
+            assert set(cfg.clients_in_use()) <= allowed
+            assert 0 <= cfg.expansion <= 3
+
+    def test_most_common_config_is_simple(self, minimized4):
+        # The hottest local configs involve at most one flow.
+        top = minimized4.local_configs[0]
+        assert top.servers_in_use() <= 1

@@ -1,0 +1,122 @@
+"""Multicast allocation with fanout splitting (section 8.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multicast import (
+    MulticastAllocator,
+    ingress_replication_quanta,
+)
+from repro.core.ring import RingGeometry
+
+
+@pytest.fixture(scope="module")
+def mc4():
+    return MulticastAllocator(RingGeometry(4))
+
+
+class TestSingleInput:
+    def test_full_fanout_single_quantum(self, mc4):
+        alloc = mc4.allocate([frozenset({1, 2, 3}), None, None, None], 0)
+        grant = alloc.grants[0]
+        assert grant.served == frozenset({1, 2, 3})
+        # Frugal split: clockwise covers {1, 2}, counterclockwise {3};
+        # three ring links total and expansion bounded by the short side.
+        assert len(grant.paths) == 2
+        assert sum(p.hops for p in grant.paths) == 3
+        assert grant.expansion == 2
+        assert alloc.is_conflict_free()
+
+    def test_self_in_set_is_free(self, mc4):
+        alloc = mc4.allocate([frozenset({0, 2}), None, None, None], 0)
+        assert alloc.grants[0].served == frozenset({0, 2})
+
+    def test_self_only(self, mc4):
+        alloc = mc4.allocate([frozenset({0}), None, None, None], 0)
+        grant = alloc.grants[0]
+        assert grant.served == frozenset({0})
+        assert grant.paths == ()
+        assert grant.expansion == 0
+
+    def test_both_directions_used(self, mc4):
+        # {1, 3} from 0: cw reaches 1, ccw reaches 3 (shorter than
+        # sweeping cw all the way).
+        alloc = mc4.allocate([frozenset({1, 3}), None, None, None], 0)
+        grant = alloc.grants[0]
+        assert grant.served == frozenset({1, 3})
+        dirs = {p.direction for p in grant.paths}
+        assert dirs == {"cw", "ccw"}
+
+    def test_empty_set_rejected(self, mc4):
+        with pytest.raises(ValueError):
+            mc4.allocate([frozenset(), None, None, None], 0)
+
+    def test_length_checked(self, mc4):
+        with pytest.raises(ValueError):
+            mc4.allocate([None, None], 0)
+
+
+class TestContention:
+    def test_outputs_partitioned(self, mc4):
+        alloc = mc4.allocate(
+            [frozenset({1, 2}), frozenset({2, 3}), None, None], 0
+        )
+        served0 = alloc.grants[0].served
+        served1 = alloc.grants.get(1)
+        if served1:
+            assert not (served0 & served1.served)
+        assert alloc.is_conflict_free()
+
+    def test_fanout_splitting_partial_service(self, mc4):
+        # Master takes output 2; downstream keeps 2 pending for later.
+        alloc = mc4.allocate([frozenset({2}), frozenset({2, 3}), None, None], 0)
+        assert alloc.grants[0].served == frozenset({2})
+        assert alloc.grants[1].served == frozenset({3})
+
+    def test_fully_blocked_input(self, mc4):
+        alloc = mc4.allocate([frozenset({2}), frozenset({2}), None, None], 0)
+        assert 1 in alloc.blocked
+
+    def test_total_copies(self, mc4):
+        alloc = mc4.allocate(
+            [frozenset({1, 2, 3}), None, None, frozenset({0})], 0
+        )
+        assert alloc.total_copies == alloc.grants[0].copies + alloc.grants[3].copies
+
+
+class TestHelpers:
+    def test_ingress_replication_count(self):
+        assert ingress_replication_quanta(3) == 3
+        with pytest.raises(ValueError):
+            ingress_replication_quanta(0)
+
+
+@given(data=st.data(), n=st.integers(3, 8))
+@settings(max_examples=150, deadline=None)
+def test_multicast_invariants(data, n):
+    """Property: any multicast request mix yields conflict-free grants,
+    served sets are subsets of requests, and the master always gets at
+    least one leaf."""
+    ring = RingGeometry(n)
+    mc = MulticastAllocator(ring)
+    token = data.draw(st.integers(0, n - 1))
+    requests = []
+    for i in range(n):
+        maybe = data.draw(
+            st.one_of(
+                st.none(),
+                st.sets(st.integers(0, n - 1), min_size=1, max_size=n),
+            )
+        )
+        requests.append(frozenset(maybe) if maybe is not None else None)
+    alloc = mc.allocate(requests, token)
+    assert alloc.is_conflict_free()
+    for src, grant in alloc.grants.items():
+        assert grant.served <= requests[src]
+        assert grant.served
+    if requests[token]:
+        # Master can always serve at least one destination (its own
+        # output or the first hop in either direction is free).
+        assert token in alloc.grants

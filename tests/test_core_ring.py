@@ -1,0 +1,114 @@
+"""Ring geometry: paths, distances, expansion numbers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import CCW, CW, Link, Path, RingGeometry
+
+
+class TestDistances:
+    def test_four_port_distances(self):
+        r = RingGeometry(4)
+        assert r.cw_distance(0, 2) == 2
+        assert r.ccw_distance(0, 2) == 2
+        assert r.cw_distance(0, 1) == 1
+        assert r.ccw_distance(0, 1) == 3
+        assert r.cw_distance(3, 0) == 1
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            RingGeometry(4).distance(0, 1, "sideways")
+
+    def test_min_ports(self):
+        with pytest.raises(ValueError):
+            RingGeometry(1)
+
+
+class TestPaths:
+    def test_cw_path_links(self):
+        r = RingGeometry(4)
+        p = r.path(0, 2, CW)
+        assert p.links == (Link(CW, 0), Link(CW, 1))
+        assert p.hops == 2
+
+    def test_ccw_path_links(self):
+        r = RingGeometry(4)
+        p = r.path(1, 3, CCW)
+        assert p.links == (Link(CCW, 1), Link(CCW, 0))
+
+    def test_direct_path(self):
+        r = RingGeometry(4)
+        p = r.path(2, 2, CW)
+        assert p.direction == "direct"
+        assert p.links == ()
+        assert p.hops == 0
+
+    def test_port_range_checked(self):
+        r = RingGeometry(4)
+        with pytest.raises(ValueError):
+            r.path(0, 4, CW)
+        with pytest.raises(ValueError):
+            r.path(-1, 0, CW)
+
+    def test_candidate_order_cw_first(self):
+        r = RingGeometry(4)
+        cands = r.candidate_paths(0, 2)
+        assert [p.direction for p in cands] == [CW, CCW]
+
+    def test_candidate_two_networks(self):
+        r = RingGeometry(4)
+        cands = r.candidate_paths(0, 2, networks=2)
+        assert [(p.direction, p.network) for p in cands] == [
+            (CW, 1), (CCW, 1), (CW, 2), (CCW, 2)
+        ]
+
+    def test_self_candidate_single(self):
+        r = RingGeometry(4)
+        assert len(r.candidate_paths(1, 1, networks=2)) == 1
+
+
+class TestExpansion:
+    def test_tiles_on_cw_path(self):
+        r = RingGeometry(4)
+        p = r.path(3, 1, CW)
+        assert r.ring_tiles_on_path(p) == [3, 0, 1]
+
+    def test_expansion_is_position(self):
+        r = RingGeometry(4)
+        p = r.path(3, 1, CW)
+        assert r.expansion(p, 3) == 0
+        assert r.expansion(p, 0) == 1
+        assert r.expansion(p, 1) == 2
+
+    def test_expansion_off_path_rejected(self):
+        r = RingGeometry(4)
+        p = r.path(0, 1, CW)
+        with pytest.raises(ValueError):
+            r.expansion(p, 3)
+
+
+class TestAllLinks:
+    def test_counts(self):
+        r = RingGeometry(4)
+        links = r.all_links()
+        # cw + ccw + out + in per tile.
+        assert len(links) == 4 * 4
+        assert len(r.all_links(networks=2)) == 4 * 4 + 8
+
+
+@given(n=st.integers(2, 12), src=st.integers(0, 11), dst=st.integers(0, 11),
+       direction=st.sampled_from([CW, CCW]))
+@settings(max_examples=200)
+def test_path_hops_equal_distance(n, src, dst, direction):
+    src, dst = src % n, dst % n
+    r = RingGeometry(n)
+    p = r.path(src, dst, direction)
+    if src == dst:
+        assert p.hops == 0
+    else:
+        assert p.hops == r.distance(src, dst, direction)
+        # cw and ccw distances partition the ring.
+        assert r.cw_distance(src, dst) + r.ccw_distance(src, dst) == n
+        # the path really ends at dst
+        assert r.ring_tiles_on_path(p)[-1] == dst

@@ -1,0 +1,53 @@
+"""Rotating and weighted tokens."""
+
+import pytest
+
+from repro.core.token import RotatingToken, WeightedToken
+
+
+class TestRotatingToken:
+    def test_rotation(self):
+        t = RotatingToken(4)
+        assert t.master == 0
+        assert [t.advance() for _ in range(5)] == [1, 2, 3, 0, 1]
+        assert t.rotations == 5
+
+    def test_priority_order(self):
+        t = RotatingToken(4, start=2)
+        assert t.priority_order() == [2, 3, 0, 1]
+
+    def test_max_wait(self):
+        assert RotatingToken(4).max_wait_quanta() == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RotatingToken(0)
+        with pytest.raises(ValueError):
+            RotatingToken(4, start=4)
+
+
+class TestWeightedToken:
+    def test_holds_master_for_weight(self):
+        t = WeightedToken([3, 1])
+        seq = [t.master] + [t.advance() for _ in range(7)]
+        assert seq == [0, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_share(self):
+        t = WeightedToken([4, 1, 1, 1])
+        assert t.share(0) == pytest.approx(4 / 7)
+        assert t.share(1) == pytest.approx(1 / 7)
+
+    def test_max_wait(self):
+        assert WeightedToken([4, 1, 1, 1]).max_wait_quanta() == 6
+
+    def test_equal_weights_degenerate_to_plain(self):
+        w = WeightedToken([1, 1, 1, 1])
+        p = RotatingToken(4)
+        for _ in range(10):
+            assert w.advance() == p.advance()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedToken([])
+        with pytest.raises(ValueError):
+            WeightedToken([1, 0])

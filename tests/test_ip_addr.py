@@ -1,0 +1,99 @@
+"""Addresses and prefixes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.addr import Prefix, int_to_ip, ip_to_int, random_prefixes
+
+
+class TestAddressParsing:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("10.0.0.1") == (10 << 24) | 1
+        assert ip_to_int("192.168.1.5") == 0xC0A80105
+
+    def test_format(self):
+        assert int_to_ip(0xC0A80105) == "192.168.1.5"
+        assert int_to_ip(0) == "0.0.0.0"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "-1.0.0.0"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_format_range_check(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefix:
+    def test_canonicalizes_host_bits(self):
+        p = Prefix(ip_to_int("10.1.2.3"), 8)
+        assert p.address == ip_to_int("10.0.0.0")
+
+    def test_mask(self):
+        assert Prefix(0, 0).mask == 0
+        assert Prefix(0, 32).mask == 0xFFFFFFFF
+        assert Prefix(0, 24).mask == 0xFFFFFF00
+
+    def test_matches(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.matches(ip_to_int("10.200.3.4"))
+        assert not p.matches(ip_to_int("11.0.0.0"))
+
+    def test_parse_with_and_without_length(self):
+        assert Prefix.parse("10.0.0.0/8").length == 8
+        assert Prefix.parse("10.0.0.1").length == 32
+
+    def test_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+        with pytest.raises(ValueError):
+            Prefix(0, -1)
+
+    def test_random_member_within_prefix(self):
+        rng = np.random.default_rng(0)
+        p = Prefix.parse("172.16.0.0/12")
+        for _ in range(100):
+            assert p.matches(p.random_member(rng))
+
+    def test_random_member_of_host_route(self):
+        rng = np.random.default_rng(0)
+        p = Prefix.parse("1.2.3.4/32")
+        assert p.random_member(rng) == p.address
+
+
+class TestRandomPrefixes:
+    def test_distinct_and_counted(self):
+        rng = np.random.default_rng(1)
+        prefixes = random_prefixes(500, rng)
+        assert len(prefixes) == 500
+        assert len({(p.address, p.length) for p in prefixes}) == 500
+
+    def test_length_bounds(self):
+        rng = np.random.default_rng(1)
+        for p in random_prefixes(200, rng, min_len=12, max_len=20):
+            assert 12 <= p.length <= 20
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            random_prefixes(1, np.random.default_rng(0), min_len=20, max_len=10)
+
+    def test_skew_toward_long_prefixes(self):
+        rng = np.random.default_rng(2)
+        lengths = [p.length for p in random_prefixes(2000, rng, 8, 24)]
+        # BGP-like: the long half should dominate.
+        assert sum(l > 16 for l in lengths) > sum(l <= 16 for l in lengths)

@@ -1,0 +1,63 @@
+"""Internet checksum and RFC 1624 incremental updates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.checksum import incremental_update, internet_checksum, verify_checksum
+
+halfword = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # Classic RFC 1071 example header.
+        hdr = [0x4500, 0x0073, 0x0000, 0x4000, 0x4011, 0x0000, 0xC0A8, 0x0001, 0xC0A8, 0x00C7]
+        csum = internet_checksum(hdr)
+        assert csum == 0xB861
+
+    def test_verify_accepts_valid(self):
+        hdr = [0x4500, 0x0073, 0x0000, 0x4000, 0x4011, 0x0000, 0xC0A8, 0x0001, 0xC0A8, 0x00C7]
+        hdr[5] = internet_checksum(hdr)
+        assert verify_checksum(hdr)
+
+    def test_verify_rejects_corrupted(self):
+        hdr = [0x4500, 0x0073, 0x0000, 0x4000, 0x4011, 0x0000, 0xC0A8, 0x0001, 0xC0A8, 0x00C7]
+        hdr[5] = internet_checksum(hdr)
+        hdr[0] ^= 0x0100
+        assert not verify_checksum(hdr)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            internet_checksum([0x10000])
+        with pytest.raises(ValueError):
+            incremental_update(0x10000, 0, 0)
+
+    @given(st.lists(halfword, min_size=1, max_size=20))
+    @settings(max_examples=200)
+    def test_computed_checksum_always_verifies(self, words):
+        csum = internet_checksum(words)
+        assert verify_checksum(words + [csum])
+
+    @given(
+        st.lists(halfword, min_size=2, max_size=20),
+        st.integers(min_value=0, max_value=19),
+        halfword,
+    )
+    @settings(max_examples=200)
+    def test_incremental_patch_verifies(self, words, idx, new_value):
+        """Property: an RFC 1624 patched header always verifies.
+
+        (Direct equality with recomputation can differ in the +0/-0
+        one's-complement representation -- 0x0000 vs 0xFFFF -- which RFC
+        1624 explicitly allows; verification is the semantic contract.)
+        """
+        idx = idx % len(words)
+        old_csum = internet_checksum(words)
+        patched = list(words)
+        patched[idx] = new_value
+        new_csum = incremental_update(old_csum, words[idx], new_value)
+        assert verify_checksum(patched + [new_csum])
+        # Modulo the +-0 representation, it matches recomputation.
+        recomputed = internet_checksum(patched)
+        assert new_csum == recomputed or {new_csum, recomputed} <= {0x0000, 0xFFFF}

@@ -1,0 +1,102 @@
+"""Internal fragmentation and reassembly across the crossbar."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.fragment import Fragment, Reassembler, fragment_words
+
+
+class TestFragmentWords:
+    def test_single_fragment(self):
+        frags = fragment_words(list(range(10)), max_words=256, packet_id=1)
+        assert len(frags) == 1
+        assert frags[0].is_last
+        assert frags[0].words == tuple(range(10))
+
+    def test_exact_multiple(self):
+        frags = fragment_words(list(range(512)), max_words=256, packet_id=1)
+        assert [len(f.words) for f in frags] == [256, 256]
+
+    def test_remainder(self):
+        frags = fragment_words(list(range(600)), max_words=256, packet_id=1)
+        assert [len(f.words) for f in frags] == [256, 256, 88]
+        assert [f.index for f in frags] == [0, 1, 2]
+        assert all(f.count == 3 for f in frags)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_words([], 256, 1)
+
+    def test_bad_max_words(self):
+        with pytest.raises(ValueError):
+            fragment_words([1], 0, 1)
+
+    def test_fragment_validation(self):
+        with pytest.raises(ValueError):
+            Fragment(packet_id=1, index=2, count=2, words=(1,))
+        with pytest.raises(ValueError):
+            Fragment(packet_id=1, index=0, count=1, words=())
+
+
+class TestReassembler:
+    def test_in_order(self):
+        words = list(range(600))
+        r = Reassembler()
+        frags = fragment_words(words, 256, packet_id=5)
+        assert r.push(frags[0]) is None
+        assert r.push(frags[1]) is None
+        assert r.push(frags[2]) == words
+        assert r.completed == 1
+        assert r.in_flight == 0
+
+    def test_out_of_order(self):
+        words = list(range(600))
+        r = Reassembler()
+        f = fragment_words(words, 256, packet_id=5)
+        assert r.push(f[2]) is None
+        assert r.push(f[0]) is None
+        assert r.push(f[1]) == words
+
+    def test_interleaved_packets(self):
+        r = Reassembler()
+        a = fragment_words(list(range(300)), 256, packet_id=1)
+        b = fragment_words(list(range(1000, 1300)), 256, packet_id=2)
+        assert r.push(a[0]) is None
+        assert r.push(b[0]) is None
+        assert r.in_flight == 2
+        assert r.push(b[1]) == list(range(1000, 1300))
+        assert r.push(a[1]) == list(range(300))
+
+    def test_duplicate_rejected(self):
+        r = Reassembler()
+        f = fragment_words(list(range(300)), 256, packet_id=1)
+        r.push(f[0])
+        with pytest.raises(ValueError):
+            r.push(f[0])
+
+    def test_inconsistent_count_rejected(self):
+        r = Reassembler()
+        r.push(Fragment(packet_id=1, index=0, count=3, words=(1,)))
+        with pytest.raises(ValueError):
+            r.push(Fragment(packet_id=1, index=1, count=2, words=(2,)))
+
+
+@given(
+    n_words=st.integers(min_value=1, max_value=2000),
+    max_words=st.integers(min_value=1, max_value=300),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_fragment_reassemble_roundtrip(n_words, max_words, seed):
+    """Property: any fragmentation, pushed in any order, reassembles."""
+    import numpy as np
+
+    words = list(range(n_words))
+    frags = fragment_words(words, max_words, packet_id=seed)
+    assert sum(len(f.words) for f in frags) == n_words
+    order = list(np.random.default_rng(seed).permutation(len(frags)))
+    r = Reassembler()
+    outputs = [r.push(frags[i]) for i in order]
+    done = [o for o in outputs if o is not None]
+    assert len(done) == 1 and done[0] == words

@@ -1,0 +1,127 @@
+"""Routing tables: Patricia-backed and Degermark-compressed."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.addr import Prefix, ip_to_int, random_prefixes
+from repro.ip.lookup import CompressedTable, LookupCostModel, RoutingTable
+from repro.raw.memory import DataCache
+
+
+class TestRoutingTable:
+    def test_default_port(self):
+        t = RoutingTable(default_port=9)
+        assert t.lookup(123) == 9
+
+    def test_add_and_lookup(self):
+        t = RoutingTable()
+        t.add_route(Prefix.parse("10.0.0.0/8"), 2)
+        assert t.lookup(ip_to_int("10.5.5.5")) == 2
+        assert t.lookup(ip_to_int("11.0.0.0")) is None
+
+    def test_remove(self):
+        t = RoutingTable()
+        p = Prefix.parse("10.0.0.0/8")
+        t.add_route(p, 1)
+        assert t.remove_route(p)
+        assert not t.remove_route(p)
+        assert t.lookup(ip_to_int("10.0.0.1")) is None
+
+    def test_negative_port_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingTable().add_route(Prefix.parse("10.0.0.0/8"), -1)
+
+    def test_uniform_split_covers_space(self):
+        t = RoutingTable.uniform_split(4)
+        assert t.lookup(0) == 0
+        assert t.lookup(0x40000000) == 1
+        assert t.lookup(0x80000000) == 2
+        assert t.lookup(0xFFFFFFFF) == 3
+
+    def test_uniform_split_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            RoutingTable.uniform_split(3)
+
+    def test_from_routes(self):
+        routes = [(Prefix.parse("10.0.0.0/8"), 1), (Prefix.parse("20.0.0.0/8"), 2)]
+        t = RoutingTable.from_routes(routes, default_port=0)
+        assert len(t) == 2
+        assert t.lookup(ip_to_int("20.1.1.1")) == 2
+        assert t.lookup(ip_to_int("30.0.0.0")) == 0
+
+    def test_lookup_with_path_reports_visits(self):
+        t = RoutingTable.uniform_split(4)
+        port, visits = t.lookup_with_path(0xC0000000)
+        assert port == 3
+        assert visits >= 1
+
+
+class TestCompressedTable:
+    def _routes(self, seed, n=400):
+        rng = np.random.default_rng(seed)
+        return [(p, i % 4) for i, p in enumerate(random_prefixes(n, rng, min_len=4, max_len=32))]
+
+    def test_specific_layers(self):
+        routes = [
+            (Prefix.parse("10.0.0.0/8"), 1),
+            (Prefix.parse("10.1.0.0/16"), 2),
+            (Prefix.parse("10.1.1.0/24"), 3),
+            (Prefix.parse("10.1.1.7/32"), 0),
+        ]
+        ct = CompressedTable(default_port=9).build(routes)
+        assert ct.lookup(ip_to_int("10.2.0.0")) == 1
+        assert ct.lookup(ip_to_int("10.1.2.0")) == 2
+        assert ct.lookup(ip_to_int("10.1.1.1")) == 3
+        assert ct.lookup(ip_to_int("10.1.1.7")) == 0
+        assert ct.lookup(ip_to_int("11.0.0.0")) == 9
+
+    def test_at_most_three_touches(self):
+        ct = CompressedTable().build(self._routes(0))
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            _, touches = ct.lookup_with_path(int(rng.integers(0, 1 << 32)))
+            assert 1 <= touches <= 3
+
+    def test_memory_footprint_reported(self):
+        ct = CompressedTable().build(self._routes(0))
+        assert ct.memory_bytes() >= (1 << 16) * 4
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_trie_table(self, seed):
+        """Property: both structures compute identical LPM answers."""
+        routes = self._routes(seed, n=150)
+        trie = RoutingTable.from_routes(routes, default_port=0)
+        comp = CompressedTable(default_port=0).build(routes)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(60):
+            if rng.random() < 0.5:
+                p, _ = routes[int(rng.integers(0, len(routes)))]
+                a = p.random_member(rng)
+            else:
+                a = int(rng.integers(0, 1 << 32))
+            assert trie.lookup(a) == comp.lookup(a), hex(a)
+
+
+class TestCostModel:
+    def test_hit_vs_miss(self):
+        cache = DataCache()
+        model = LookupCostModel(cache)
+        cold = model.cost(3, [0, 4096, 8192])
+        warm = model.cost(3, [0, 4096, 8192])
+        assert cold > warm
+
+    def test_uniform_model_monotone_in_visits(self):
+        model = LookupCostModel(DataCache())
+        assert model.cost_uniform(4, 0.9) > model.cost_uniform(2, 0.9)
+
+    def test_uniform_model_monotone_in_hit_rate(self):
+        model = LookupCostModel(DataCache())
+        assert model.cost_uniform(3, 0.5) > model.cost_uniform(3, 0.99)
+
+    def test_hit_rate_validated(self):
+        model = LookupCostModel(DataCache())
+        with pytest.raises(ValueError):
+            model.cost_uniform(3, 1.5)

@@ -1,0 +1,146 @@
+"""PATRICIA trie vs a brute-force longest-prefix-match oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ip.addr import Prefix, random_prefixes
+from repro.ip.trie import PatriciaTrie
+
+
+def oracle(prefixes, addr):
+    best, best_len = None, -1
+    for p, v in prefixes:
+        if p.matches(addr) and p.length > best_len:
+            best, best_len = v, p.length
+    return best
+
+
+class TestBasics:
+    def test_empty_lookup(self):
+        t = PatriciaTrie()
+        assert t.lookup(0x01020304) is None
+        assert len(t) == 0
+
+    def test_default_route(self):
+        t = PatriciaTrie()
+        t.insert(Prefix(0, 0), "default")
+        assert t.lookup(0) == "default"
+        assert t.lookup(0xFFFFFFFF) == "default"
+
+    def test_longest_match_wins(self):
+        t = PatriciaTrie()
+        t.insert(Prefix.parse("10.0.0.0/8"), "short")
+        t.insert(Prefix.parse("10.1.0.0/16"), "long")
+        assert t.lookup(Prefix.parse("10.1.2.3/32").address) == "long"
+        assert t.lookup(Prefix.parse("10.2.0.0/32").address) == "short"
+
+    def test_replace_value(self):
+        t = PatriciaTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        t.insert(p, 1)
+        t.insert(p, 2)
+        assert len(t) == 1
+        assert t.lookup(p.address) == 2
+
+    def test_host_routes(self):
+        t = PatriciaTrie()
+        t.insert(Prefix.parse("1.2.3.4/32"), "exact")
+        assert t.lookup(Prefix.parse("1.2.3.4").address) == "exact"
+        assert t.lookup(Prefix.parse("1.2.3.5").address) is None
+
+    def test_items_roundtrip(self):
+        rng = np.random.default_rng(0)
+        prefixes = random_prefixes(100, rng)
+        t = PatriciaTrie()
+        for i, p in enumerate(prefixes):
+            t.insert(p, i)
+        got = {(str(p), v) for p, v in t.items()}
+        want = {(str(p), i) for i, p in enumerate(prefixes)}
+        assert got == want
+
+    def test_lookup_with_path_counts_visits(self):
+        t = PatriciaTrie()
+        t.insert(Prefix.parse("128.0.0.0/1"), "a")
+        _, visits = t.lookup_with_path(0xFFFFFFFF)
+        assert visits >= 2  # root + leaf
+
+    def test_max_depth_bounded(self):
+        rng = np.random.default_rng(0)
+        t = PatriciaTrie()
+        for i, p in enumerate(random_prefixes(500, rng)):
+            t.insert(p, i)
+        assert t.max_depth() <= 33  # 32 bits + root
+
+
+class TestDelete:
+    def test_delete_present(self):
+        t = PatriciaTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        t.insert(p, 1)
+        assert t.delete(p)
+        assert len(t) == 0
+        assert t.lookup(p.address) is None
+
+    def test_delete_absent(self):
+        t = PatriciaTrie()
+        assert not t.delete(Prefix.parse("10.0.0.0/8"))
+
+    def test_delete_keeps_siblings(self):
+        t = PatriciaTrie()
+        a, b = Prefix.parse("10.0.0.0/8"), Prefix.parse("10.128.0.0/9")
+        t.insert(a, "a")
+        t.insert(b, "b")
+        t.delete(b)
+        assert t.lookup(Prefix.parse("10.128.0.1").address) == "a"
+
+    def test_delete_merges_nodes(self):
+        t = PatriciaTrie()
+        for text, v in [("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("10.1.1.0/24", 3)]:
+            t.insert(Prefix.parse(text), v)
+        nodes_before = t.node_count()
+        t.delete(Prefix.parse("10.1.0.0/16"))
+        assert t.node_count() <= nodes_before
+        assert t.lookup(Prefix.parse("10.1.1.5").address) == 3
+        assert t.lookup(Prefix.parse("10.1.2.5").address) == 1
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_trie_matches_oracle(data):
+    """Property: lookups agree with brute force over random tables."""
+    seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    n = data.draw(st.integers(1, 120))
+    prefixes = [(p, i) for i, p in enumerate(random_prefixes(n, rng, min_len=1, max_len=32))]
+    t = PatriciaTrie()
+    for p, v in prefixes:
+        t.insert(p, v)
+    for _ in range(40):
+        if rng.random() < 0.5:
+            p, _ = prefixes[int(rng.integers(0, len(prefixes)))]
+            a = p.random_member(rng)
+        else:
+            a = int(rng.integers(0, 1 << 32))
+        assert t.lookup(a) == oracle(prefixes, a)
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_trie_matches_oracle_after_deletes(data):
+    seed = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    prefixes = [(p, i) for i, p in enumerate(random_prefixes(60, rng, min_len=4, max_len=28))]
+    t = PatriciaTrie()
+    for p, v in prefixes:
+        t.insert(p, v)
+    kill = data.draw(st.integers(0, 59))
+    removed = prefixes[:kill]
+    kept = prefixes[kill:]
+    for p, _ in removed:
+        assert t.delete(p)
+    assert len(t) == len(kept)
+    for _ in range(30):
+        a = int(rng.integers(0, 1 << 32))
+        assert t.lookup(a) == oracle(kept, a)

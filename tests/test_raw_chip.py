@@ -1,0 +1,145 @@
+"""Whole-chip assembly and the tile programming model."""
+
+import pytest
+
+from repro.raw import costs
+from repro.raw.chip import RawChip
+from repro.raw.layout import Direction
+from repro.raw.tile import TileProgram
+from repro.sim.kernel import Get, Put
+from repro.sim.trace import Trace
+
+
+class TestChipAssembly:
+    def test_default_has_two_static_networks(self):
+        chip = RawChip()
+        assert len(chip.static) == 2
+        assert chip.network is chip.static[0]
+
+    def test_single_network_option(self):
+        chip = RawChip(num_static_networks=1)
+        assert len(chip.static) == 1
+
+    def test_network_count_validated(self):
+        with pytest.raises(ValueError):
+            RawChip(num_static_networks=0)
+        with pytest.raises(ValueError):
+            RawChip(num_static_networks=3)
+
+    def test_per_tile_resources(self):
+        chip = RawChip()
+        assert len(chip.caches) == 16
+        assert len(chip.switches) == 16
+        assert chip.caches[0] is not chip.caches[1]
+
+    def test_tile_id_validated(self):
+        chip = RawChip()
+
+        def nop():
+            yield from ()
+
+        with pytest.raises(ValueError):
+            chip.add_tile_program(16, nop())
+        with pytest.raises(ValueError):
+            chip.add_switch_program(-1, nop())
+
+    def test_seconds_conversion(self):
+        chip = RawChip()
+
+        def burn():
+            from repro.sim.kernel import Timeout
+
+            yield Timeout(250)
+
+        chip.add_tile_program(0, burn())
+        chip.run()
+        assert chip.seconds() == pytest.approx(1e-6)  # 250 cycles @ 250 MHz
+
+
+class TestTileToTileTransfer:
+    def test_neighbor_word_transfer(self):
+        """The Fig 3-2 scenario: tile 0 sends a word south to tile 4."""
+        chip = RawChip()
+        link = chip.network.link(0, 4)
+        got = []
+
+        def sender():
+            yield Put(link, 0xBEEF)
+
+        def receiver():
+            got.append((yield Get(link)))
+
+        chip.add_tile_program(0, sender())
+        chip.add_tile_program(4, receiver())
+        chip.run()
+        assert got == [0xBEEF]
+        # One switch hop: the word lands a cycle after the send.
+        assert chip.now == costs.STATIC_HOP_CYCLES
+
+    def test_trace_keys_per_tile(self):
+        trace = Trace()
+        chip = RawChip(trace=trace)
+        link = chip.network.link(5, 6)
+
+        def blocked_reader():
+            yield Get(link)
+
+        def late_writer():
+            from repro.sim.kernel import Timeout
+
+            yield Timeout(25)
+            yield Put(link, 1)
+
+        chip.add_tile_program(6, blocked_reader())
+        chip.add_tile_program(5, late_writer())
+        chip.run()
+        assert trace.time_in_state("t6", "rx") > 20
+        assert trace.time_in_state("t5", "busy") == 25
+
+
+class TestTileProgram:
+    class _Echo(TileProgram):
+        def __init__(self, tile, chan_in, chan_out):
+            super().__init__(tile)
+            self.chan_in = chan_in
+            self.chan_out = chan_out
+
+        def run(self):
+            word = yield self.recv(self.chan_in)
+            yield self.compute(3)
+            yield self.send(self.chan_out, word + 1)
+
+    def test_echo_program(self):
+        chip = RawChip()
+        a = chip.sim.channel("a")
+        b = chip.sim.channel("b")
+        prog = self._Echo(0, a, b)
+        got = []
+
+        def driver():
+            yield Put(a, 41)
+            got.append((yield Get(b)))
+
+        chip.add_tile_program(0, prog.run())
+        chip.add_io_program(driver(), "driver")
+        chip.run()
+        assert got == [42]
+        assert chip.now == 3
+
+    def test_load_store_costs(self):
+        chip = RawChip()
+        prog = TileProgram(0, cache=chip.caches[0])
+
+        def runner():
+            yield from prog.store_words(0, 64)  # 2 c/w + misses
+            yield from prog.load_words(0, 64)  # 1 c/w, now resident
+
+        chip.add_tile_program(0, runner())
+        chip.run()
+        lines = 64 * 4 // costs.CACHE_LINE_BYTES
+        expected = 64 * 2 + lines * costs.CACHE_MISS_CYCLES + 64 * 1
+        assert chip.now == expected
+
+    def test_base_run_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            TileProgram(0).run()

@@ -1,0 +1,103 @@
+"""Grid geometry and the Fig 4-1 / 7-2 port mapping."""
+
+import pytest
+
+from repro.raw.layout import (
+    CROSSBAR_RING,
+    Direction,
+    EGRESS_TILES,
+    GRID_WIDTH,
+    INGRESS_TILES,
+    LOOKUP_TILES,
+    NUM_TILES,
+    ROUTER_LAYOUT,
+    manhattan,
+    neighbor,
+    port_of_tile,
+    ring_neighbors_are_adjacent,
+    tile_id,
+    tile_xy,
+)
+
+
+class TestGrid:
+    def test_xy_roundtrip(self):
+        for t in range(NUM_TILES):
+            x, y = tile_xy(t)
+            assert tile_id(x, y) == t
+
+    def test_bad_tile(self):
+        with pytest.raises(ValueError):
+            tile_xy(16)
+        with pytest.raises(ValueError):
+            tile_xy(-1)
+
+    def test_bad_coords(self):
+        with pytest.raises(ValueError):
+            tile_id(4, 0)
+        with pytest.raises(ValueError):
+            tile_id(0, -1)
+
+    def test_neighbors(self):
+        assert neighbor(0, Direction.EAST) == 1
+        assert neighbor(0, Direction.SOUTH) == 4
+        assert neighbor(0, Direction.NORTH) is None
+        assert neighbor(0, Direction.WEST) is None
+        assert neighbor(5, Direction.NORTH) == 1
+        assert neighbor(15, Direction.EAST) is None
+
+    def test_neighbor_symmetry(self):
+        for t in range(NUM_TILES):
+            for d in (Direction.NORTH, Direction.SOUTH, Direction.EAST, Direction.WEST):
+                n = neighbor(t, d)
+                if n is not None:
+                    assert neighbor(n, d.opposite()) == t
+
+    def test_manhattan(self):
+        assert manhattan(0, 15) == 6
+        assert manhattan(5, 6) == 1
+        assert manhattan(3, 3) == 0
+
+    def test_opposite(self):
+        assert Direction.NORTH.opposite() is Direction.SOUTH
+        assert Direction.PROC.opposite() is Direction.PROC
+
+
+class TestRouterLayout:
+    def test_sixteen_distinct_tiles(self):
+        tiles = [t for layout in ROUTER_LAYOUT for t in layout.tiles]
+        assert sorted(tiles) == list(range(NUM_TILES))
+
+    def test_ingress_tiles_match_fig7_3_caption(self):
+        # "gray on tiles 4, 7, 8, and 11 means that the input ports are
+        # blocked by the crossbar"
+        assert set(INGRESS_TILES) == {4, 7, 8, 11}
+
+    def test_crossbar_is_center_ring(self):
+        assert set(CROSSBAR_RING) == {5, 6, 9, 10}
+
+    def test_ring_neighbors_adjacent(self):
+        assert ring_neighbors_are_adjacent()
+
+    def test_functional_units_adjacent_to_crossbar(self):
+        """Ingress and egress tiles sit next to their crossbar tile, so
+        in/out links are single static-network hops."""
+        for layout in ROUTER_LAYOUT:
+            assert manhattan(layout.ingress, layout.crossbar) == 1
+            assert manhattan(layout.egress, layout.crossbar) == 1
+            assert manhattan(layout.ingress, layout.lookup) == 1
+
+    def test_egress_tiles_touch_chip_edge(self):
+        for layout in ROUTER_LAYOUT:
+            x, y = tile_xy(layout.egress)
+            assert x in (0, GRID_WIDTH - 1) or y in (0, GRID_WIDTH - 1)
+
+    def test_port_of_tile(self):
+        assert port_of_tile(4) == (0, "ingress")
+        assert port_of_tile(10) == (2, "crossbar")
+        assert port_of_tile(13) == (3, "egress")
+        assert port_of_tile(12) == (3, "lookup")
+
+    def test_lookup_and_egress_sets(self):
+        assert len(set(LOOKUP_TILES)) == 4
+        assert len(set(EGRESS_TILES)) == 4

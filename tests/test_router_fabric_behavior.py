@@ -1,0 +1,112 @@
+"""Fabric-stage behaviours: parking, wake, output blocking, QoS plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.token import WeightedToken
+from repro.router.router import RawRouter
+from repro.traffic import (
+    FixedPermutation,
+    FixedSize,
+    HotspotDestinations,
+    PacketFactory,
+    Saturated,
+    Workload,
+)
+
+
+class TestIdleParking:
+    def test_finite_sources_drain_and_stop(self):
+        """With finite line-card sources the simulation quiesces: the
+        fabric parks instead of spinning idle quanta forever."""
+        rng = np.random.default_rng(0)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(
+            FixedPermutation.shift(4, 1), FixedSize(256), Saturated()
+        )
+        sources = router.attach_linecards(
+            workload, PacketFactory(4, rng), offered_load=0.5, rng=rng,
+            packets_per_port=25,
+        )
+        res = router.run(target_packets=100)
+        end = router.sim.now
+        # Re-running adds nothing: no runaway idle events.
+        router.sim.run(until=end + 500_000, raise_on_deadlock=False)
+        assert router.sim.now == end
+        assert res.packets == 100
+
+    def test_wake_resumes_after_idle_gap(self):
+        """A long silent gap then one packet: the parked fabric must wake
+        and deliver it."""
+        rng = np.random.default_rng(1)
+        router = RawRouter(warmup_cycles=0)
+
+        calls = {"n": 0}
+
+        class OnePacketLate:
+            n = 4
+
+            def next_dest(self, port):
+                return (port + 1) % 4
+
+        workload = Workload(OnePacketLate(), FixedSize(64), Saturated())
+        sources = router.attach_linecards(
+            workload, PacketFactory(4, rng), offered_load=0.01, rng=rng,
+            packets_per_port=3,
+        )
+        res = router.run(target_packets=12, chunk=50_000)
+        assert res.packets == 12
+
+
+class TestOutputBlocking:
+    def test_slow_egress_backpressures_fabric(self):
+        """A tiny egress queue with an all-to-one hotspot: the fabric
+        must block on Put rather than drop, and everything still
+        arrives exactly once."""
+        rng = np.random.default_rng(2)
+        router = RawRouter(warmup_cycles=0, egress_queue_frags=1)
+        workload = Workload(
+            HotspotDestinations(4, rng, hot=2, p_hot=1.0),
+            FixedSize(1024),
+            Saturated(),
+        )
+        router.attach_saturated(workload, PacketFactory(4, rng))
+        res = router.run(max_cycles=150_000)
+        assert res.packets > 50
+        assert router.stats.per_port_delivered[2] == res.packets
+        assert sum(router.stats.per_port_delivered) == res.packets
+
+
+class TestWeightedTokenPlumbing:
+    def test_fabric_uses_supplied_token(self):
+        rng = np.random.default_rng(3)
+        token = WeightedToken([7, 1, 1, 1])
+        router = RawRouter(token=token, warmup_cycles=0)
+        workload = Workload(
+            HotspotDestinations(4, rng, hot=0, p_hot=1.0),
+            FixedSize(128),
+            Saturated(),
+        )
+        router.attach_saturated(workload, PacketFactory(4, rng))
+        router.run(max_cycles=120_000)
+        shares = router.stats.input_share()
+        assert shares[0] == pytest.approx(0.7, abs=0.05)
+        assert token.rotations > 0
+
+
+class TestGrantAccounting:
+    def test_histogram_and_blocked_counters(self):
+        rng = np.random.default_rng(4)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(
+            HotspotDestinations(4, rng, hot=0, p_hot=1.0),
+            FixedSize(64),
+            Saturated(),
+        )
+        router.attach_saturated(workload, PacketFactory(4, rng))
+        router.run(max_cycles=60_000)
+        stats = router.stats
+        # Hotspot: exactly one grant per busy quantum, three blocked.
+        busy_quanta = sum(stats.grant_histogram[1:])
+        assert stats.grant_histogram[1] == busy_quanta
+        assert stats.blocked_grants == pytest.approx(3 * busy_quanta, abs=8)

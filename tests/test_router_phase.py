@@ -1,0 +1,274 @@
+"""The phase-level router: pipelines, conservation, drops, extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.compute import XorCipher
+from repro.core.token import WeightedToken
+from repro.ip.lookup import RoutingTable
+from repro.router import RawRouter
+from repro.traffic import (
+    FixedPermutation,
+    FixedSize,
+    HotspotDestinations,
+    PacketFactory,
+    Saturated,
+    UniformDestinations,
+    Workload,
+)
+
+
+def saturated_router(pattern=None, size=1024, seed=0, **kw):
+    rng = np.random.default_rng(seed)
+    router = RawRouter(**kw)
+    workload = Workload(
+        pattern or FixedPermutation.shift(4, 2), FixedSize(size), Saturated()
+    )
+    router.attach_saturated(workload, PacketFactory(4, rng))
+    return router
+
+
+class TestPeakThroughput:
+    def test_matches_paper_1024(self):
+        router = saturated_router(size=1024, warmup_cycles=20_000)
+        res = router.run(max_cycles=250_000)
+        assert res.gbps == pytest.approx(26.9, rel=0.03)
+        assert res.mpps == pytest.approx(3.3, rel=0.03)
+
+    def test_matches_paper_64(self):
+        router = saturated_router(size=64, warmup_cycles=20_000)
+        res = router.run(max_cycles=150_000)
+        assert res.gbps == pytest.approx(7.3, rel=0.12)
+
+    def test_agrees_with_fabric_simulator(self):
+        """The full pipeline's bottleneck is the fabric: both engines
+        report the same saturated rate."""
+        from repro.core.fabricsim import FabricSimulator, saturated_permutation
+
+        router = saturated_router(size=512, warmup_cycles=20_000)
+        full = router.run(max_cycles=250_000).gbps
+        fabric = FabricSimulator().run(
+            saturated_permutation(128, 2), quanta=1500, warmup_quanta=100
+        ).gbps
+        assert full == pytest.approx(fabric, rel=0.02)
+
+
+class TestConservationAndCorrectness:
+    def test_packets_counted_per_port(self):
+        router = saturated_router(size=256, warmup_cycles=0)
+        res = router.run(max_cycles=100_000)
+        assert sum(router.stats.per_port_delivered) == res.packets
+        assert res.packets > 100
+
+    def test_delivered_to_lpm_port(self):
+        """Every delivered packet left on the port the routing table
+        says -- the traffic intent survives lookup and switching."""
+        rng = np.random.default_rng(1)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(
+            UniformDestinations(4, rng, exclude_self=True),
+            FixedSize(256),
+            Saturated(),
+        )
+        factory = PacketFactory(4, rng)
+        delivered = []
+        real_make = factory.make
+
+        def tracking(inp, outp, size):
+            pkt = real_make(inp, outp, size)
+            delivered.append(pkt)
+            return pkt
+
+        factory.make = tracking
+        router.attach_saturated(workload, factory)
+        router.run(max_cycles=60_000)
+        table = router.table
+        done = [p for p in delivered if p.departure_cycle >= 0]
+        assert len(done) > 50
+        for pkt in done:
+            assert table.lookup(pkt.dst) == pkt.output_port
+            assert pkt.ttl == 63  # decremented exactly once
+
+    def test_latency_positive_and_ordered(self):
+        router = saturated_router(size=256, warmup_cycles=5_000)
+        router.run(max_cycles=100_000)
+        summary = router.stats.latency.summary()
+        assert summary["mean_cycles"] > 256  # at least a store+forward
+        assert summary["p99_cycles"] >= summary["p50_cycles"]
+
+
+class TestFragmentationPath:
+    def test_jumbo_packets_reassembled(self):
+        """2,048-byte packets exceed the 256-word transfer block: two
+        crossbar quanta per packet, reassembled at egress."""
+        router = saturated_router(size=2048, warmup_cycles=10_000)
+        res = router.run(max_cycles=200_000)
+        assert res.packets > 50
+        # Throughput stays near the 1,024B rate (overhead per quantum).
+        assert res.gbps == pytest.approx(26.9, rel=0.06)
+        # 2 fragments per packet, up to 4 grants per quantum.
+        assert router.stats.quanta * 4 >= 2 * res.packets
+
+
+class TestDropPaths:
+    def test_ttl_expired_dropped(self):
+        rng = np.random.default_rng(2)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(FixedPermutation.shift(4, 1), FixedSize(64), Saturated())
+        factory = PacketFactory(4, rng)
+        real_make = factory.make
+        factory.make = lambda i, o, s: (
+            lambda p: (setattr(p, "ttl", 1), p.fill_checksum(), p)[-1]
+        )(real_make(i, o, s))
+        router.attach_saturated(workload, factory)
+        res = router.run(max_cycles=30_000)
+        assert res.packets == 0
+        assert router.stats.ttl_drops > 0
+
+    def test_bad_checksum_dropped(self):
+        rng = np.random.default_rng(2)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(FixedPermutation.shift(4, 1), FixedSize(64), Saturated())
+        factory = PacketFactory(4, rng)
+        real_make = factory.make
+
+        def corrupt(i, o, s):
+            p = real_make(i, o, s)
+            p.checksum ^= 0xAAAA
+            return p
+
+        factory.make = corrupt
+        router.attach_saturated(workload, factory)
+        res = router.run(max_cycles=30_000)
+        assert res.packets == 0
+        assert router.stats.checksum_drops > 0
+
+
+class TestLineCards:
+    def test_light_load_lossless(self):
+        rng = np.random.default_rng(3)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(
+            UniformDestinations(4, rng, exclude_self=True),
+            FixedSize(256),
+            Saturated(),
+        )
+        sources = router.attach_linecards(
+            workload, PacketFactory(4, rng), offered_load=0.3, rng=rng,
+            packets_per_port=100,
+        )
+        res = router.run(target_packets=390)
+        assert res.packets >= 390
+        assert sum(s.dropped for s in sources) == 0
+
+    def test_overload_drops_at_linecard(self):
+        rng = np.random.default_rng(4)
+        router = RawRouter(warmup_cycles=0)
+        workload = Workload(
+            HotspotDestinations(4, rng, hot=0, p_hot=1.0),
+            FixedSize(1024),
+            Saturated(),
+        )
+        sources = router.attach_linecards(
+            workload, PacketFactory(4, rng), offered_load=0.9, rng=rng,
+            packets_per_port=150, line_buffer_packets=4,
+        )
+        router.run(max_cycles=600_000)
+        assert sum(s.dropped for s in sources) > 0
+        assert router.stats.line_drops == sum(s.dropped for s in sources)
+
+    def test_double_attach_rejected(self):
+        router = saturated_router()
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError):
+            router.attach_saturated(
+                Workload(FixedPermutation.shift(4, 1), FixedSize(64), Saturated()),
+                PacketFactory(4, rng),
+            )
+
+    def test_run_needs_attachment(self):
+        router = RawRouter()
+        with pytest.raises(RuntimeError):
+            router.run(max_cycles=10)
+
+    def test_run_needs_stop_condition(self):
+        router = saturated_router()
+        with pytest.raises(ValueError):
+            router.run()
+
+
+class TestExtensions:
+    def test_qos_weighted_token_in_router(self):
+        rng = np.random.default_rng(5)
+        router = RawRouter(
+            token=WeightedToken([4, 1, 1, 1]), warmup_cycles=10_000
+        )
+        workload = Workload(
+            HotspotDestinations(4, rng, hot=0, p_hot=1.0),
+            FixedSize(256),
+            Saturated(),
+        )
+        router.attach_saturated(workload, PacketFactory(4, rng))
+        router.run(max_cycles=400_000)
+        share = router.stats.input_share()
+        assert share[0] == pytest.approx(4 / 7, rel=0.10)
+        # Everything left on the hotspot output.
+        assert router.stats.port_share()[0] == pytest.approx(1.0)
+
+    def test_transform_slows_body_streaming(self):
+        from repro.core.phases import quantum_cycles
+
+        plain = saturated_router(size=1024, warmup_cycles=10_000)
+        base = plain.run(max_cycles=150_000).gbps
+        enc = saturated_router(
+            size=1024, warmup_cycles=10_000, transform=XorCipher(3)
+        )
+        cipher_rate = enc.run(max_cycles=150_000).gbps
+        # Body stretches to words x 2; control overhead is unchanged.
+        expected = base * quantum_cycles(256, 2) / quantum_cycles(512, 2)
+        assert cipher_rate == pytest.approx(expected, rel=0.03)
+
+    def test_second_network_config_runs(self):
+        router = saturated_router(size=256, networks=2, warmup_cycles=5_000)
+        res = router.run(max_cycles=80_000)
+        assert res.gbps > 10
+
+    def test_compiled_schedule_engine_matches_allocator(self):
+        """Running the fabric off the chapter-6 jump table gives the
+        same throughput as evaluating the rule directly."""
+        from repro.core.ring import RingGeometry
+        from repro.core.scheduler import CompileTimeScheduler
+
+        schedule = CompileTimeScheduler(RingGeometry(4)).compile()
+        direct = saturated_router(size=512, warmup_cycles=10_000)
+        via_table = saturated_router(
+            size=512, warmup_cycles=10_000, schedule=schedule
+        )
+        a = direct.run(max_cycles=120_000).gbps
+        b = via_table.run(max_cycles=120_000).gbps
+        assert a == pytest.approx(b, rel=0.01)
+
+    def test_eight_port_router_neighbor_traffic_scales(self):
+        """Section 8.5 scaling: neighbor permutations scale ~linearly
+        (each flow holds one ring segment)."""
+        rng = np.random.default_rng(6)
+        router = RawRouter(num_ports=8, warmup_cycles=10_000)
+        workload = Workload(
+            FixedPermutation.shift(8, 1), FixedSize(1024), Saturated()
+        )
+        router.attach_saturated(workload, PacketFactory(8, rng))
+        res = router.run(max_cycles=200_000)
+        assert res.gbps > 45  # ~2x the 4-port fabric
+
+    def test_eight_port_antipodal_is_bisection_limited(self):
+        """The honest flip side: antipodal permutations saturate the
+        ring's bisection, so aggregate rate stays near the 4-port level
+        -- the scaling caveat the thesis defers to future work."""
+        rng = np.random.default_rng(6)
+        router = RawRouter(num_ports=8, warmup_cycles=10_000)
+        workload = Workload(
+            FixedPermutation.shift(8, 4), FixedSize(1024), Saturated()
+        )
+        router.attach_saturated(workload, PacketFactory(8, rng))
+        res = router.run(max_cycles=200_000)
+        assert res.gbps < 35

@@ -1,0 +1,68 @@
+"""Trace container: windowing, clipping, aggregation."""
+
+import pytest
+
+from repro.sim.trace import Interval, Trace
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval("k", "busy", 3, 10).length == 7
+
+
+class TestTraceRecording:
+    def test_basic_record_and_query(self):
+        t = Trace()
+        t.record("a", "busy", 0, 5)
+        t.record("a", "tx", 5, 8)
+        t.record("b", "busy", 2, 4)
+        assert t.keys() == ["a", "b"]
+        assert t.time_in_state("a", "busy") == 5
+        assert t.time_in_state("a", "tx") == 3
+        assert t.horizon() == 8
+
+    def test_empty_interval_dropped(self):
+        t = Trace()
+        t.record("a", "busy", 5, 5)
+        t.record("a", "busy", 6, 5)
+        assert t.keys() == []
+
+    def test_intervals_sorted_by_start(self):
+        t = Trace()
+        t.record("a", "busy", 10, 12)
+        t.record("a", "busy", 0, 2)
+        starts = [iv.start for iv in t.intervals("a")]
+        assert starts == sorted(starts)
+
+    def test_unknown_key_empty(self):
+        t = Trace()
+        assert t.intervals("nope") == []
+        assert t.time_in_state("nope", "busy") == 0
+
+
+class TestTraceWindow:
+    def test_outside_window_dropped(self):
+        t = Trace(start=100, stop=200)
+        t.record("a", "busy", 0, 50)
+        t.record("a", "busy", 250, 300)
+        assert t.keys() == []
+
+    def test_partial_overlap_clipped(self):
+        t = Trace(start=100, stop=200)
+        t.record("a", "busy", 90, 110)
+        t.record("a", "busy", 190, 250)
+        ivs = t.intervals("a")
+        assert [(iv.start, iv.end) for iv in ivs] == [(100, 110), (190, 200)]
+
+    def test_inside_window_kept(self):
+        t = Trace(start=100, stop=200)
+        t.record("a", "busy", 120, 180)
+        assert t.time_in_state("a", "busy") == 60
+
+    def test_all_intervals_flat(self):
+        t = Trace()
+        t.record("b", "busy", 0, 1)
+        t.record("a", "tx", 1, 2)
+        ivs = t.all_intervals()
+        assert len(ivs) == 2
+        assert ivs[0].key == "a"  # keys sorted

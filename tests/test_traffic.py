@@ -1,0 +1,191 @@
+"""Traffic generation: patterns, sizes, arrivals, workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.arrivals import Bernoulli, Saturated
+from repro.traffic.patterns import (
+    BurstyDestinations,
+    FixedPermutation,
+    HotspotDestinations,
+    RotatingPermutation,
+    UniformDestinations,
+)
+from repro.traffic.sizes import BimodalSizes, FixedSize, IMix, UniformSizes
+from repro.traffic.workload import PacketFactory, Workload, fabric_source
+
+
+class TestPatterns:
+    def test_fixed_permutation(self):
+        p = FixedPermutation([2, 3, 0, 1])
+        assert [p.next_dest(i) for i in range(4)] == [2, 3, 0, 1]
+
+    def test_shift_constructor(self):
+        p = FixedPermutation.shift(4, 2)
+        assert [p.next_dest(i) for i in range(4)] == [2, 3, 0, 1]
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPermutation([0, 0, 1, 2])
+
+    def test_uniform_exclude_self(self):
+        rng = np.random.default_rng(0)
+        p = UniformDestinations(4, rng, exclude_self=True)
+        for port in range(4):
+            for _ in range(200):
+                assert p.next_dest(port) != port
+
+    def test_uniform_covers_all_destinations(self):
+        rng = np.random.default_rng(0)
+        p = UniformDestinations(4, rng, exclude_self=False)
+        seen = {p.next_dest(1) for _ in range(300)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_rotating_permutation_never_self(self):
+        p = RotatingPermutation(4)
+        for _ in range(20):
+            for port in range(4):
+                assert p.next_dest(port) != port
+
+    def test_rotating_is_conflict_free_each_round(self):
+        p = RotatingPermutation(4)
+        for _ in range(8):
+            dests = [p.next_dest(i) for i in range(4)]
+            assert sorted(dests) == [0, 1, 2, 3]
+
+    def test_hotspot_bias(self):
+        rng = np.random.default_rng(1)
+        p = HotspotDestinations(4, rng, hot=2, p_hot=0.8)
+        hits = sum(p.next_dest(0) == 2 for _ in range(1000))
+        assert hits > 700
+
+    def test_hotspot_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            HotspotDestinations(4, rng, hot=9)
+        with pytest.raises(ValueError):
+            HotspotDestinations(4, rng, p_hot=1.5)
+
+    def test_bursty_produces_runs(self):
+        rng = np.random.default_rng(2)
+        p = BurstyDestinations(4, rng, mean_burst=16.0)
+        dests = [p.next_dest(0) for _ in range(400)]
+        repeats = sum(a == b for a, b in zip(dests, dests[1:]))
+        assert repeats > 300  # long runs dominate
+
+    def test_bursty_never_self_when_excluded(self):
+        rng = np.random.default_rng(2)
+        p = BurstyDestinations(4, rng, exclude_self=True)
+        assert all(p.next_dest(3) != 3 for _ in range(300))
+
+
+class TestSizes:
+    def test_fixed(self):
+        s = FixedSize(512)
+        assert s.next_size() == 512
+        assert s.mean() == 512
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            FixedSize(65)
+        with pytest.raises(ValueError):
+            FixedSize(8)
+
+    def test_imix_values_and_mean(self):
+        rng = np.random.default_rng(0)
+        s = IMix(rng)
+        draws = [s.next_size() for _ in range(500)]
+        assert set(draws) <= set(IMix.SIZES)
+        assert abs(np.mean(draws) - s.mean()) < 60
+
+    def test_uniform_sizes_bounds(self):
+        rng = np.random.default_rng(0)
+        s = UniformSizes(rng, 64, 256)
+        for _ in range(200):
+            v = s.next_size()
+            assert 64 <= v <= 256 and v % 4 == 0
+
+    def test_uniform_sizes_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            UniformSizes(rng, 256, 64)
+
+    def test_bimodal(self):
+        rng = np.random.default_rng(0)
+        s = BimodalSizes(rng, 64, 1024, p_small=0.5)
+        draws = {s.next_size() for _ in range(100)}
+        assert draws == {64, 1024}
+
+
+class TestArrivals:
+    def test_saturated(self):
+        a = Saturated()
+        assert a.offers(0) and a.load == 1.0
+
+    def test_bernoulli_rate(self):
+        rng = np.random.default_rng(0)
+        a = Bernoulli(0.3, rng)
+        rate = np.mean([a.offers(0) for _ in range(4000)])
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5, np.random.default_rng(0))
+
+
+class TestWorkload:
+    def test_next_packet(self):
+        rng = np.random.default_rng(0)
+        w = Workload(FixedPermutation.shift(4, 1), FixedSize(256), Saturated())
+        assert w.next_packet(0) == (1, 256)
+        assert w.num_ports == 4
+
+    def test_fabric_source_converts_to_words(self):
+        w = Workload(FixedPermutation.shift(4, 1), FixedSize(256), Saturated())
+        src = fabric_source(w)
+        assert src(2) == (3, 64)
+
+    def test_no_arrival_is_none(self):
+        rng = np.random.default_rng(0)
+        w = Workload(
+            FixedPermutation.shift(4, 1), FixedSize(64), Bernoulli(0.0, rng)
+        )
+        assert w.next_packet(0) is None
+        assert fabric_source(w)(0) is None
+
+
+class TestPacketFactory:
+    def test_addresses_resolve_to_intended_port(self):
+        """The minted destination address must LPM back to the intended
+        output through the uniform-split table -- the end-to-end wiring
+        of traffic intent and route lookup."""
+        from repro.ip.lookup import RoutingTable
+
+        rng = np.random.default_rng(3)
+        factory = PacketFactory(4, rng)
+        table = RoutingTable.uniform_split(4)
+        for out_port in range(4):
+            for _ in range(25):
+                pkt = factory.make(0, out_port, 128)
+                assert table.lookup(pkt.dst) == out_port
+                assert pkt.checksum_ok()
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            PacketFactory(3, np.random.default_rng(0))
+
+    def test_idents_unique(self):
+        rng = np.random.default_rng(0)
+        f = PacketFactory(4, rng)
+        idents = {f.make(0, 1, 64).ident for _ in range(200)}
+        assert len(idents) == 200
+
+    def test_from_workload(self):
+        rng = np.random.default_rng(0)
+        f = PacketFactory(4, rng)
+        w = Workload(FixedPermutation.shift(4, 2), FixedSize(128), Saturated())
+        pkt = f.from_workload(w, 1)
+        assert pkt.output_port == 3
+        assert pkt.total_length == 128

@@ -1,0 +1,73 @@
+"""Text renderers: timelines and tables."""
+
+import pytest
+
+from repro.metrics.utilization import summarize_trace
+from repro.sim.trace import Trace
+from repro.viz.tables import format_comparison, format_table
+from repro.viz.timeline import render_timeline, render_utilization_bars
+
+
+def _trace():
+    t = Trace()
+    t.record("t4", "busy", 0, 40)
+    t.record("t4", "rx", 40, 100)
+    t.record("t5", "busy", 0, 100)
+    return t
+
+
+class TestTimeline:
+    def test_renders_rows_and_glyphs(self):
+        out = render_timeline(_trace(), ["t4", "t5"], 0, 100, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("t4")
+        body4 = lines[1][3:]
+        assert "#" in body4 and "." in body4
+        assert set(lines[2][3:].strip()) == {"#"}
+
+    def test_busy_blocked_proportions(self):
+        out = render_timeline(_trace(), ["t4"], 0, 100, width=10)
+        row = out.splitlines()[1].split(None, 1)[1]
+        assert row.count("#") == 4
+        assert row.count(".") == 6
+
+    def test_labels_substituted(self):
+        out = render_timeline(_trace(), ["t4"], 0, 100, labels={"t4": "ingress0"})
+        assert "ingress0" in out
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(_trace(), ["t4"], 50, 50)
+
+    def test_width_clamped_to_span(self):
+        out = render_timeline(_trace(), ["t4"], 0, 5, width=100)
+        assert len(out.splitlines()[1].split(None, 1)[1]) <= 5
+
+
+class TestUtilizationBars:
+    def test_bars_and_percentages(self):
+        s = summarize_trace(_trace(), 0, 100)
+        out = render_utilization_bars(s, ["t4", "t5"], width=10)
+        assert "busy  40.0%" in out
+        assert "blocked  60.0%" in out
+        assert "busy 100.0%" in out
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out
+        assert all(len(l) == len(lines[1]) for l in lines[3:])
+
+    def test_format_comparison_ratio(self):
+        rows = [
+            {"label": "x", "measured": 2.0, "paper": 4.0},
+            {"label": "y", "measured": 3.0, "paper": None},
+        ]
+        out = format_comparison(rows)
+        assert "0.50" in out
+        line_y = [l for l in out.splitlines() if l.startswith("y")][0]
+        assert "- " in line_y
