@@ -3,22 +3,41 @@
 Each benchmark regenerates one of the paper's tables/figures; the
 measured-vs-paper tables are collected here and emitted in the terminal
 summary (so they survive pytest's output capture and land in
-``bench_output.txt``).
+``bench_output.txt``), and dumped as structured JSON to
+``BENCH_results.json`` next to this file so throughput regressions can
+be diffed mechanically across runs.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
 _TABLES = []
+_RESULTS = []
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_results.json"
 
 
 @pytest.fixture
 def record_table():
     """Benchmarks call this with an ExperimentResult (or raw string) to
-    have its table printed in the run summary."""
+    have its table printed in the run summary and written to
+    ``BENCH_results.json``."""
 
     def _record(result):
-        text = result if isinstance(result, str) else result.to_text()
-        _TABLES.append(text)
+        if isinstance(result, str):
+            _TABLES.append(result)
+            _RESULTS.append({"name": None, "text": result})
+            return result
+        _TABLES.append(result.to_text())
+        _RESULTS.append(
+            {
+                "name": result.name,
+                "description": result.description,
+                "rows": [dict(row) for row in result.rows],
+            }
+        )
         return result
 
     return _record
@@ -32,3 +51,8 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line("")
         for line in text.splitlines():
             terminalreporter.write_line(line)
+    RESULTS_PATH.write_text(
+        json.dumps({"tables": _RESULTS}, indent=2, default=str) + "\n"
+    )
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"structured tables written to {RESULTS_PATH}")

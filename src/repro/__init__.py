@@ -8,10 +8,25 @@ Most users want one of:
 * :class:`repro.router.RawRouter` -- the full 4-port (or N-port) router.
 * :class:`repro.core.Allocator` -- the Rotating Crossbar allocation rule.
 * :mod:`repro.experiments` -- regenerate any of the paper's tables/figures.
+* :func:`repro.run_config` -- run any engine fidelity from a
+  :class:`SimConfig` + :class:`WorkloadSpec` pair (what the sweep CLI
+  fans across workers).
 
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.0.0"
+from repro.config import CostModel, SimConfig
+from repro.engines import Engine, RunResult, WorkloadSpec, make_engine, run_config
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "CostModel",
+    "SimConfig",
+    "Engine",
+    "RunResult",
+    "WorkloadSpec",
+    "make_engine",
+    "run_config",
+]

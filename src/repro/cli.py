@@ -6,6 +6,7 @@
     python -m repro run fig7_1_peak      # one experiment, full budget
     python -m repro run table6_1 --quick # reduced budget
     python -m repro all --quick          # everything
+    python -m repro sweep --grid ports=4 quantum=256,512,1024 --workers 4
 
 Benchmark timing is pytest-benchmark's job; this entry point is for
 humans who want the tables.
@@ -154,6 +155,34 @@ def _cmd_run(names, quick: bool) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.config import SimConfig
+    from repro.engines import WorkloadSpec
+    from repro.sweep import parse_grid, run_sweep, summarize, write_results
+
+    base_config = SimConfig(fidelity=args.fidelity)
+    base_workload = WorkloadSpec(
+        pattern=args.pattern,
+        packet_bytes=args.bytes,
+        quanta=args.quanta,
+    )
+    try:
+        table = run_sweep(
+            parse_grid(args.grid),
+            workers=args.workers,
+            base_config=base_config,
+            base_workload=base_workload,
+            base_seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"bad --grid: {exc}", file=sys.stderr)
+        return 2
+    write_results(table, args.out)
+    print(summarize(table))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -166,6 +195,34 @@ def main(argv=None) -> int:
     run.add_argument("--quick", action="store_true", help="reduced budgets")
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true")
+    sweep = sub.add_parser(
+        "sweep", help="fan a config grid across multiprocessing workers"
+    )
+    sweep.add_argument(
+        "--grid",
+        nargs="+",
+        required=True,
+        metavar="KEY=V1[,V2...]",
+        help="grid axes over SimConfig / WorkloadSpec / CostModel fields "
+        "(aliases: quantum, clock, fifo, engine, bytes)",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="pool size")
+    sweep.add_argument("--out", default="sweep_results.json", help="JSON output path")
+    sweep.add_argument("--seed", type=int, default=0, help="base seed")
+    sweep.add_argument(
+        "--fidelity",
+        default="fabric",
+        choices=("fabric", "router", "wordlevel"),
+        help="default engine for cells that do not sweep it",
+    )
+    sweep.add_argument(
+        "--pattern",
+        default="permutation",
+        choices=("permutation", "uniform", "hotspot"),
+        help="default traffic pattern",
+    )
+    sweep.add_argument("--bytes", type=int, default=1024, help="packet size")
+    sweep.add_argument("--quanta", type=int, default=2000, help="routing quanta budget")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -174,4 +231,6 @@ def main(argv=None) -> int:
         return _cmd_run(args.names, args.quick)
     if args.command == "all":
         return _cmd_run(list(REGISTRY), args.quick)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return 2  # pragma: no cover

@@ -99,6 +99,11 @@ class Allocator:
         self.ring = ring
         self.networks = networks
 
+    @classmethod
+    def from_config(cls, config) -> "Allocator":
+        """Build from a :class:`repro.config.SimConfig` (ports + networks)."""
+        return cls(RingGeometry(config.ports), networks=config.networks)
+
     def allocate(self, requests: Sequence[Request], token: int) -> Allocation:
         """Compute the quantum's configuration.
 

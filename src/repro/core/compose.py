@@ -25,12 +25,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from repro.config import CostModel
 from repro.core.allocator import Allocator
 from repro.core.fabricsim import FabricStats, PortSource
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles
 from repro.core.ring import RingGeometry
 from repro.core.token import RotatingToken
-from repro.raw import costs
 
 
 @dataclass
@@ -88,15 +88,19 @@ class ClosFabric:
         self,
         k: int = 4,
         timing: PhaseTiming = DEFAULT_TIMING,
-        max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
+        max_quantum_words: Optional[int] = None,
         stage_queue_frags: int = 8,
+        costs: CostModel = CostModel.default(),
     ):
         if k < 2:
             raise ValueError("crossbar size must be >= 2")
         self.k = k
         self.num_ports = k * k
         self.timing = timing
-        self.max_quantum_words = max_quantum_words
+        self.costs = costs
+        self.max_quantum_words = (
+            costs.max_quantum_words if max_quantum_words is None else max_quantum_words
+        )
         self.stage_queue_frags = stage_queue_frags
         self.ingress = [_Crossbar(k) for _ in range(k)]
         self.middle = [_Crossbar(k) for _ in range(k)]
@@ -144,7 +148,7 @@ class ClosFabric:
         quanta: int,
         warmup_quanta: int = 0,
     ) -> FabricStats:
-        stats = FabricStats(num_ports=self.num_ports)
+        stats = FabricStats(num_ports=self.num_ports, costs=self.costs)
         for q in range(quanta + warmup_quanta):
             measuring = q >= warmup_quanta
             for port in range(self.num_ports):

@@ -117,6 +117,11 @@ class ConfigurationSpace:
         self.ring = ring
         self.allocator = allocator or Allocator(ring)
 
+    @classmethod
+    def from_config(cls, config) -> "ConfigurationSpace":
+        """Build from a :class:`repro.config.SimConfig` (ports + networks)."""
+        return cls(RingGeometry(config.ports), Allocator.from_config(config))
+
     # ------------------------------------------------------------------
     def global_size(self) -> int:
         """|Hdr|^N x |Token| (2,500 for the 4-port prototype)."""

@@ -16,11 +16,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.config import CostModel
 from repro.core.allocator import Allocation, Allocator
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles, quantum_cycles
 from repro.core.ring import RingGeometry
 from repro.core.token import RotatingToken
-from repro.raw import costs
 
 #: A port source: called when the port's input queue is empty; returns
 #: (destination port, packet words) or None for "no packet right now".
@@ -49,6 +49,7 @@ class FabricStats:
     per_port_packets: List[int] = field(default_factory=list)
     blocked_events: int = 0
     grant_histogram: List[int] = field(default_factory=list)  #: index = #grants
+    costs: CostModel = field(default_factory=CostModel.default)
 
     def __post_init__(self):
         if not self.per_port_words:
@@ -60,16 +61,16 @@ class FabricStats:
 
     @property
     def gbps(self) -> float:
-        """Aggregate delivered throughput at the Raw clock."""
+        """Aggregate delivered throughput at the configured clock."""
         if self.cycles == 0:
             return 0.0
-        return costs.gbps(self.delivered_words * costs.WORD_BITS, self.cycles)
+        return self.costs.gbps(self.delivered_words * self.costs.word_bits, self.cycles)
 
     @property
     def mpps(self) -> float:
         if self.cycles == 0:
             return 0.0
-        return costs.mpps(self.delivered_packets, self.cycles)
+        return self.costs.mpps(self.delivered_packets, self.cycles)
 
     @property
     def words_per_cycle(self) -> float:
@@ -104,17 +105,27 @@ class FabricSimulator:
         ring: Optional[RingGeometry] = None,
         allocator: Optional[Allocator] = None,
         token: Optional[RotatingToken] = None,
-        max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
-        timing: PhaseTiming = DEFAULT_TIMING,
+        max_quantum_words: Optional[int] = None,
+        timing: Optional[PhaseTiming] = None,
         pipelined: bool = True,
         keep_history: bool = False,
+        costs: CostModel = CostModel.default(),
     ):
+        self.costs = costs
         self.ring = ring or RingGeometry(4)
         self.allocator = allocator or Allocator(self.ring)
         self.token = token or RotatingToken(self.ring.n)
+        if max_quantum_words is None:
+            max_quantum_words = costs.max_quantum_words
         if max_quantum_words < 1:
             raise ValueError("max_quantum_words must be >= 1")
         self.max_quantum_words = max_quantum_words
+        if timing is None:
+            timing = (
+                DEFAULT_TIMING
+                if costs.quantum_ctl_overhead == DEFAULT_TIMING.control_total
+                else PhaseTiming.for_model(costs)
+            )
         self.timing = timing
         self.pipelined = pipelined
         self.keep_history = keep_history
@@ -155,7 +166,7 @@ class FabricSimulator:
         """
         if quanta is None and min_packets is None:
             raise ValueError("need a stopping condition")
-        stats = FabricStats(num_ports=self.ring.n)
+        stats = FabricStats(num_ports=self.ring.n, costs=self.costs)
         done = 0
         while True:
             if quanta is not None and done >= quanta + warmup_quanta:
@@ -190,7 +201,9 @@ class FabricSimulator:
         for grant in alloc.grants.values():
             frag = self._queues[grant.src][0]
             body = max(body, frag.words + grant.expansion)
-        duration = quantum_cycles(0, 0, self.timing, self.pipelined) + body
+        duration = (
+            quantum_cycles(0, 0, self.timing, self.pipelined, costs=self.costs) + body
+        )
         if self.keep_history:
             self.history.append((requests, alloc))
         if stats:

@@ -8,7 +8,7 @@ the switch program counter), the *route_body* streaming phase, and the
 switch->processor *confirm* handshake.  Header processing of packet
 ``k+1`` is overlapped with body streaming of packet ``k`` (section 5.2),
 so the steady-state cost of a quantum is the non-overlapped control
-(:data:`repro.raw.costs.QUANTUM_CTL_OVERHEAD`) plus the body:
+(:attr:`repro.config.CostModel.quantum_ctl_overhead`) plus the body:
 ``words + expansion``.
 """
 
@@ -16,13 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.raw import costs
+from repro.config import CostModel
 
 
 @dataclass(frozen=True)
 class PhaseTiming:
     """Cycle budget of each control phase (defaults sum to the calibrated
-    :data:`~repro.raw.costs.QUANTUM_CTL_OVERHEAD`)."""
+    :attr:`~repro.config.CostModel.quantum_ctl_overhead`)."""
 
     headers_request: int = 4
     headers_send: int = 8  #: 2 header words over the in-link, send + recv
@@ -40,9 +40,28 @@ class PhaseTiming:
             + self.confirm
         )
 
+    @classmethod
+    def for_model(cls, costs: CostModel) -> "PhaseTiming":
+        """A timing whose phases sum to ``costs.quantum_ctl_overhead``:
+        the fixed request/send/choose/confirm budgets plus whatever
+        remains attributed to the ring exchange (the phase whose length
+        the calibration actually absorbs)."""
+        fixed = cls()  # default budgets for the non-exchange phases
+        exchange = costs.quantum_ctl_overhead - (
+            fixed.headers_request
+            + fixed.headers_send
+            + fixed.choose_config
+            + fixed.confirm
+        )
+        if exchange < 0:
+            raise ValueError(
+                "quantum_ctl_overhead smaller than the fixed phase budgets"
+            )
+        return cls(headers_exchange=exchange)
+
 
 DEFAULT_TIMING = PhaseTiming()
-assert DEFAULT_TIMING.control_total == costs.QUANTUM_CTL_OVERHEAD
+assert DEFAULT_TIMING.control_total == CostModel.default().quantum_ctl_overhead
 
 
 def quantum_cycles(
@@ -50,6 +69,7 @@ def quantum_cycles(
     expansion: int = 0,
     timing: PhaseTiming = DEFAULT_TIMING,
     pipelined: bool = True,
+    costs: CostModel = CostModel.default(),
 ) -> int:
     """Total cycles for a routing quantum moving ``words`` per grant.
 
@@ -65,7 +85,7 @@ def quantum_cycles(
     body = words + expansion
     cycles = timing.control_total + body
     if not pipelined:
-        cycles += costs.INGRESS_HEADER_CYCLES + costs.LOOKUP_CYCLES
+        cycles += costs.ingress_header_cycles + costs.lookup_cycles
     return cycles
 
 
@@ -75,7 +95,11 @@ def idle_quantum_cycles(timing: PhaseTiming = DEFAULT_TIMING) -> int:
     return timing.control_total
 
 
-def peak_gbps(packet_bytes: int, num_ports: int = 4) -> float:
+def peak_gbps(
+    packet_bytes: int,
+    num_ports: int = 4,
+    costs: CostModel = CostModel.default(),
+) -> float:
     """Closed-form peak throughput of the phase model (conflict-free
     traffic, every port streaming every quantum).
 
@@ -84,13 +108,13 @@ def peak_gbps(packet_bytes: int, num_ports: int = 4) -> float:
     """
     words = costs.bytes_to_words(packet_bytes)
     expansion = num_ports // 2  # worst-case ring distance under permutation
-    from repro.raw.costs import MAX_QUANTUM_WORDS
+    timing = PhaseTiming.for_model(costs)
 
     total_cycles = 0
     remaining = words
     while remaining > 0:
-        q = min(remaining, MAX_QUANTUM_WORDS)
-        total_cycles += quantum_cycles(q, expansion)
+        q = min(remaining, costs.max_quantum_words)
+        total_cycles += quantum_cycles(q, expansion, timing, costs=costs)
         remaining -= q
     bits = packet_bytes * 8
     return num_ports * costs.gbps(bits, total_cycles)

@@ -1,0 +1,350 @@
+"""One interface over the three simulation engines.
+
+The repository evaluates the thesis's cost model at three fidelities:
+
+* ``fabric`` -- the quantum-level loop (:mod:`repro.core.fabricsim`):
+  no kernel processes, fastest, used by throughput/fairness sweeps;
+* ``router`` -- the phase-level pipelined router
+  (:mod:`repro.router.router`): ingress/lookup/egress stages as kernel
+  processes, per-packet latency;
+* ``wordlevel`` -- the word-level chip model
+  (:mod:`repro.router.wordlevel`): every word crosses the simulated
+  static network, per-cycle truth.
+
+Historically each exposed a different constructor and result type, so
+comparing fidelities or sweeping configurations meant bespoke glue per
+engine.  This module gives all three the same shape: build from a
+:class:`~repro.config.SimConfig`, feed a declarative
+:class:`WorkloadSpec`, get back a :class:`RunResult` with a shared
+schema (throughput, latency percentiles, per-port counters, trace
+handle).  ``run_config(config, workload)`` is the one-call entry point
+the sweep runner (:mod:`repro.sweep`) fans across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.config import CostModel, SimConfig
+
+#: Traffic pattern names understood by every engine.
+PATTERNS = ("permutation", "uniform", "hotspot")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative, picklable workload description.
+
+    ``pattern`` selects the destination process (conflict-free
+    permutation by ``shift``, iid uniform, or a hotspot output);
+    saturated arrivals throughout -- the regime of the thesis's
+    chapter-7 measurements.  The budget fields are interpreted by
+    fidelity: ``quanta`` bounds the fabric engine, ``packets`` the
+    phase-level router (defaults to ``quanta`` deliveries), ``cycles``
+    the word-level model.  ``None`` warmups pick each engine's
+    historical default so results stay comparable with the seed's
+    experiment harness.
+    """
+
+    pattern: str = "permutation"
+    packet_bytes: int = 1024
+    shift: int = 2  #: permutation: port i -> (i + shift) mod N
+    exclude_self: bool = True  #: uniform: redraw self-destinations
+    hot_port: int = 0
+    p_hot: float = 0.7
+    quanta: int = 2000
+    warmup_quanta: Optional[int] = None  #: default max(50, quanta // 20)
+    packets: Optional[int] = None
+    cycles: int = 120_000
+    warmup_cycles: int = 20_000
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; expected one of {PATTERNS}"
+            )
+        if self.packet_bytes < 24:
+            raise ValueError("packet must at least hold an IPv4 header + word")
+
+    def replace(self, **changes: Any) -> "WorkloadSpec":
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class RunResult:
+    """What any engine run measured, in one schema.
+
+    ``latency`` is empty for engines that do not track per-packet
+    latency (the fabric loop has no notion of a packet's arrival time);
+    ``trace`` is a live :class:`~repro.sim.trace.Trace` handle when the
+    run was traced, and is dropped by :meth:`to_dict` so results stay
+    JSON- and pickle-friendly.
+    """
+
+    fidelity: str
+    cycles: int
+    delivered_packets: int
+    delivered_words: int
+    gbps: float
+    mpps: float
+    per_port_packets: List[int]
+    latency: Dict[str, float] = field(default_factory=dict)
+    config: Optional[SimConfig] = None
+    workload: Optional[WorkloadSpec] = None
+    trace: Any = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fidelity": self.fidelity,
+            "cycles": self.cycles,
+            "delivered_packets": self.delivered_packets,
+            "delivered_words": self.delivered_words,
+            "gbps": self.gbps,
+            "mpps": self.mpps,
+            "per_port_packets": list(self.per_port_packets),
+            "latency": dict(self.latency),
+            "config": self.config.to_dict() if self.config else None,
+            "workload": self.workload.to_dict() if self.workload else None,
+            "extra": dict(self.extra),
+        }
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The common engine contract: configure, then run workloads."""
+
+    fidelity: str
+
+    def configure(self, config: SimConfig) -> "Engine":
+        """Bind a configuration; returns self for chaining."""
+        ...
+
+    def run(self, workload: WorkloadSpec) -> RunResult:
+        """Simulate ``workload`` under the bound configuration."""
+        ...
+
+
+class _BaseEngine:
+    fidelity = "?"
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        self.config = config or SimConfig()
+
+    def configure(self, config: SimConfig) -> "_BaseEngine":
+        self.config = config
+        return self
+
+    # ------------------------------------------------------------------
+    def _rng(self):
+        import numpy as np
+
+        return np.random.default_rng(self.config.seed)
+
+
+class FabricEngine(_BaseEngine):
+    """Quantum-level fidelity: :class:`~repro.core.fabricsim.FabricSimulator`."""
+
+    fidelity = "fabric"
+
+    def _source(self, workload: WorkloadSpec, words: int):
+        from repro.core.fabricsim import (
+            saturated_hotspot,
+            saturated_permutation,
+            saturated_uniform,
+        )
+
+        n = self.config.ports
+        if workload.pattern == "permutation":
+            return saturated_permutation(words, shift=workload.shift, n=n)
+        if workload.pattern == "uniform":
+            return saturated_uniform(
+                words, self._rng(), n=n, exclude_self=workload.exclude_self
+            )
+        return saturated_hotspot(
+            words, self._rng(), hot=workload.hot_port, p_hot=workload.p_hot, n=n
+        )
+
+    def run(self, workload: WorkloadSpec) -> RunResult:
+        from repro.core.fabricsim import FabricSimulator
+        from repro.core.ring import RingGeometry
+
+        costs = self.config.cost_model()
+        words = costs.bytes_to_words(workload.packet_bytes)
+        ring = RingGeometry(self.config.ports)
+        from repro.core.allocator import Allocator
+
+        sim = FabricSimulator(
+            ring=ring,
+            allocator=Allocator(ring, networks=self.config.networks),
+            pipelined=self.config.pipelined,
+            costs=costs,
+        )
+        warmup = (
+            workload.warmup_quanta
+            if workload.warmup_quanta is not None
+            else max(50, workload.quanta // 20)
+        )
+        stats = sim.run(
+            self._source(workload, words),
+            quanta=workload.quanta,
+            warmup_quanta=warmup,
+        )
+        return RunResult(
+            fidelity=self.fidelity,
+            cycles=stats.cycles,
+            delivered_packets=stats.delivered_packets,
+            delivered_words=stats.delivered_words,
+            gbps=stats.gbps,
+            mpps=stats.mpps,
+            per_port_packets=list(stats.per_port_packets),
+            latency={},  # the fabric loop does not track per-packet latency
+            config=self.config,
+            workload=workload,
+            extra={
+                "quanta": stats.quanta,
+                "idle_quanta": stats.idle_quanta,
+                "blocked_events": stats.blocked_events,
+                "mean_grants_per_quantum": stats.mean_grants_per_quantum,
+            },
+        )
+
+
+class RouterEngine(_BaseEngine):
+    """Phase-level fidelity: the full pipelined :class:`RawRouter`."""
+
+    fidelity = "router"
+    warmup_cycles = 30_000
+
+    def run(self, workload: WorkloadSpec) -> RunResult:
+        from repro.router.router import RawRouter
+        from repro.traffic.arrivals import Saturated
+        from repro.traffic.patterns import (
+            FixedPermutation,
+            HotspotDestinations,
+            UniformDestinations,
+        )
+        from repro.traffic.sizes import FixedSize
+        from repro.traffic.workload import PacketFactory, Workload
+
+        n = self.config.ports
+        rng = self._rng()
+        router = RawRouter.from_config(self.config, warmup_cycles=self.warmup_cycles)
+        if workload.pattern == "permutation":
+            pattern = FixedPermutation.shift(n, workload.shift)
+        elif workload.pattern == "uniform":
+            pattern = UniformDestinations(n, rng, exclude_self=workload.exclude_self)
+        else:
+            pattern = HotspotDestinations(
+                n, rng, hot=workload.hot_port, p_hot=workload.p_hot
+            )
+        router.attach_saturated(
+            Workload(pattern, FixedSize(workload.packet_bytes), Saturated()),
+            PacketFactory(n, rng),
+        )
+        target = workload.packets if workload.packets is not None else workload.quanta
+        result = router.run(target_packets=target)
+        stats = router.stats
+        bits = sum(stats.per_port_bits)
+        return RunResult(
+            fidelity=self.fidelity,
+            cycles=result.cycles,
+            delivered_packets=stats.delivered_packets,
+            delivered_words=bits // costs_word_bits(router.costs),
+            gbps=result.gbps,
+            mpps=result.mpps,
+            per_port_packets=list(stats.per_port_delivered),
+            latency=stats.latency.summary(clock_hz=router.costs.clock_hz),
+            config=self.config,
+            workload=workload,
+            extra={
+                "quanta": stats.quanta,
+                "idle_quanta": stats.idle_quanta,
+                "line_drops": stats.line_drops,
+                "checksum_drops": stats.checksum_drops,
+                "ttl_drops": stats.ttl_drops,
+            },
+        )
+
+
+class WordLevelEngine(_BaseEngine):
+    """Word-level fidelity: every word crosses the simulated network.
+
+    Restricted (like the underlying model) to the prototype's 4-port
+    layout and single-quantum packets; two orders of magnitude slower
+    than the other engines, so budgets are in cycles.
+    """
+
+    fidelity = "wordlevel"
+
+    def run(self, workload: WorkloadSpec) -> RunResult:
+        from repro.router.wordlevel import (
+            WordLevelRouter,
+            permutation_source,
+            uniform_source,
+        )
+
+        if self.config.ports != 4:
+            raise ValueError("the word-level model is fixed at 4 ports")
+        costs = self.config.cost_model()
+        if workload.pattern == "permutation":
+            source = permutation_source(workload.packet_bytes, shift=workload.shift)
+        elif workload.pattern == "uniform":
+            source = uniform_source(
+                workload.packet_bytes, self._rng(), exclude_self=workload.exclude_self
+            )
+        else:
+            raise ValueError("word-level engine supports permutation/uniform only")
+        router = WordLevelRouter(source, costs=costs)
+        res = router.run(
+            until_cycles=workload.cycles, warmup_cycles=workload.warmup_cycles
+        )
+        return RunResult(
+            fidelity=self.fidelity,
+            cycles=res.cycles,
+            delivered_packets=res.delivered_packets,
+            delivered_words=res.delivered_words,
+            gbps=res.gbps,
+            mpps=res.mpps,
+            per_port_packets=list(res.per_port_packets),
+            latency={},
+            config=self.config,
+            workload=workload,
+            trace=res.trace,
+            extra={"payload_errors": router.payload_errors},
+        )
+
+
+def costs_word_bits(costs: CostModel) -> int:
+    return costs.word_bits
+
+
+ENGINES = {
+    FabricEngine.fidelity: FabricEngine,
+    RouterEngine.fidelity: RouterEngine,
+    WordLevelEngine.fidelity: WordLevelEngine,
+}
+
+
+def make_engine(config: SimConfig) -> Engine:
+    """An engine of ``config.fidelity``, already configured."""
+    try:
+        cls = ENGINES[config.fidelity]
+    except KeyError:
+        raise ValueError(
+            f"unknown fidelity {config.fidelity!r}; expected one of {tuple(ENGINES)}"
+        ) from None
+    return cls(config)
+
+
+def run_config(config: SimConfig, workload: WorkloadSpec) -> RunResult:
+    """Build the right engine for ``config`` and run ``workload``.
+
+    This is the top-level function the sweep runner dispatches to
+    ``multiprocessing`` workers (both arguments and the result pickle)."""
+    return make_engine(config).run(workload)

@@ -7,11 +7,13 @@ phase cost.  Average (bottom chart): uniform destinations under
 drops to ~69% of peak.  The Click bar is measured by actually pushing
 the same packets through the Click element graph.
 
-Two engines produce the Raw numbers: the quantum-level fabric simulator
+Two engines produce the Raw numbers: the quantum-level fabric engine
 (default -- fast, used by the benchmarks) and the full phase-level
-router with ingress/lookup/egress pipelines (``engine="router"``, used
-by the integration tests to confirm the pipeline stages don't move the
-bottleneck).
+router engine with ingress/lookup/egress pipelines (``engine="router"``,
+used by the integration tests to confirm the pipeline stages don't move
+the bottleneck).  Both go through the shared
+:class:`repro.engines.Engine` interface, so what this experiment runs is
+exactly what ``python -m repro sweep`` fans across workers.
 """
 
 from __future__ import annotations
@@ -21,47 +23,30 @@ from typing import Iterable
 import numpy as np
 
 from repro.baselines.click import standard_ip_router
-from repro.core.fabricsim import (
-    FabricSimulator,
-    saturated_permutation,
-    saturated_uniform,
-)
+from repro.config import SimConfig
+from repro.engines import FabricEngine, RouterEngine, WorkloadSpec
 from repro.experiments import paperdata
 from repro.experiments.common import ExperimentResult
-from repro.raw import costs
-from repro.traffic.patterns import FixedPermutation, UniformDestinations
-from repro.traffic.sizes import PAPER_SIZES, FixedSize
-from repro.traffic.arrivals import Saturated
-from repro.traffic.workload import PacketFactory, Workload
+from repro.traffic.workload import PacketFactory
+from repro.traffic.sizes import PAPER_SIZES
+
+
+def _workload(size_bytes: int, uniform: bool, **budget) -> WorkloadSpec:
+    return WorkloadSpec(
+        pattern="uniform" if uniform else "permutation",
+        packet_bytes=size_bytes,
+        **budget,
+    )
 
 
 def _fabric_gbps(size_bytes: int, uniform: bool, quanta: int, seed: int) -> float:
-    words = costs.bytes_to_words(size_bytes)
-    sim = FabricSimulator()
-    if uniform:
-        rng = np.random.default_rng(seed)
-        source = saturated_uniform(words, rng, exclude_self=True)
-    else:
-        source = saturated_permutation(words, shift=2)
-    stats = sim.run(source, quanta=quanta, warmup_quanta=max(50, quanta // 20))
-    return stats.gbps
+    engine = FabricEngine(SimConfig(seed=seed))
+    return engine.run(_workload(size_bytes, uniform, quanta=quanta)).gbps
 
 
 def _router_gbps(size_bytes: int, uniform: bool, packets: int, seed: int) -> float:
-    from repro.router.router import RawRouter
-
-    rng = np.random.default_rng(seed)
-    warmup = 30_000
-    router = RawRouter(warmup_cycles=warmup)
-    pattern = (
-        UniformDestinations(4, rng, exclude_self=True)
-        if uniform
-        else FixedPermutation.shift(4, 2)
-    )
-    workload = Workload(pattern, FixedSize(size_bytes), Saturated())
-    router.attach_saturated(workload, PacketFactory(4, rng))
-    result = router.run(target_packets=packets)
-    return result.gbps
+    engine = RouterEngine(SimConfig(fidelity="router", seed=seed))
+    return engine.run(_workload(size_bytes, uniform, packets=packets)).gbps
 
 
 def measure_click_gbps(size_bytes: int = 64, packets: int = 2000, seed: int = 0) -> float:

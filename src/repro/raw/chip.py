@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional
 
-from repro.raw import costs
+from repro.config import CostModel
 from repro.raw.layout import NUM_TILES
 from repro.raw.memory import DataCache
 from repro.raw.network import DynamicNetwork, StaticNetwork
@@ -35,16 +35,25 @@ class RawChip:
         both.
     """
 
-    def __init__(self, trace: Optional[Trace] = None, num_static_networks: int = 2):
+    def __init__(
+        self,
+        trace: Optional[Trace] = None,
+        num_static_networks: int = 2,
+        costs: CostModel = CostModel.default(),
+    ):
         if not 1 <= num_static_networks <= 2:
             raise ValueError("Raw has one or two static networks")
+        self.costs = costs
         self.sim = Simulator(trace=trace)
         self.trace = trace
         self.static = [
-            StaticNetwork(self.sim, index=i + 1) for i in range(num_static_networks)
+            StaticNetwork(self.sim, index=i + 1, costs=costs)
+            for i in range(num_static_networks)
         ]
-        self.dynamic = DynamicNetwork(self.sim)
-        self.caches: List[DataCache] = [DataCache() for _ in range(NUM_TILES)]
+        self.dynamic = DynamicNetwork(self.sim, costs=costs)
+        self.caches: List[DataCache] = [
+            DataCache.for_model(costs) for _ in range(NUM_TILES)
+        ]
         self.switches: List[SwitchProcessor] = [
             SwitchProcessor(t) for t in range(NUM_TILES)
         ]
@@ -90,4 +99,4 @@ class RawChip:
         return self.sim.now
 
     def seconds(self) -> float:
-        return self.sim.now / costs.CLOCK_HZ
+        return self.sim.now / self.costs.clock_hz

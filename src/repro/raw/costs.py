@@ -1,111 +1,72 @@
-"""The Raw cycle-cost model (thesis chapter 3) and router calibration.
+"""Compatibility shim over :class:`repro.config.CostModel`.
 
-Every constant cites where it comes from in the thesis; the single
-*calibrated* value is :data:`QUANTUM_CTL_OVERHEAD`, the non-overlapped
-control cost of one Rotating Crossbar routing quantum, fitted once against
-the published Fig 7-1 throughputs (see DESIGN.md section 5 for the fit and
-residuals).  All other numbers are taken directly from the text.
+The Raw cycle-cost model (thesis chapter 3) now lives in
+:class:`repro.config.CostModel`, a frozen dataclass that engines take as
+an explicit parameter; this module re-exports the *default* model's
+fields under their historical constant names so existing call sites and
+notebooks keep working.  New code should accept a ``CostModel`` instead
+of importing these constants -- the constants cannot be swept or varied
+per-instance.
+
+Every value cites where it comes from in the thesis; the single
+*calibrated* one is :data:`QUANTUM_CTL_OVERHEAD`, the non-overlapped
+control cost of one Rotating Crossbar routing quantum, fitted once
+against the published Fig 7-1 throughputs (see DESIGN.md section 5 for
+the fit and residuals).
 """
 
 from __future__ import annotations
 
-# ---------------------------------------------------------------------------
+from repro.config import CostModel
+
+_DEFAULT = CostModel.default()
+
 # Chip-level parameters (section 3.4).
-# ---------------------------------------------------------------------------
-CLOCK_HZ: float = 250e6  #: Raw prototype target frequency, 250 MHz.
-WORD_BITS: int = 32  #: static networks move one 32-bit word per cycle.
-WORD_BYTES: int = WORD_BITS // 8
-NUM_TILES: int = 16  #: 4x4 grid (section 3.1).
+CLOCK_HZ: float = _DEFAULT.clock_hz
+WORD_BITS: int = _DEFAULT.word_bits
+WORD_BYTES: int = _DEFAULT.word_bytes
+NUM_TILES: int = _DEFAULT.num_tiles
 
-# ---------------------------------------------------------------------------
 # Static network (section 3.3).
-# ---------------------------------------------------------------------------
-#: Cycles for one word to cross one switch-to-switch hop.
-STATIC_HOP_CYCLES: int = 1
-#: Depth of the input FIFO behind each static-network port.  The Raw
-#: switch buffers a few words per port; without this slack, symmetric
-#: ring communication (everyone injecting, then everyone forwarding)
-#: would deadlock on the capacity-1 wires.
-STATIC_FIFO_DEPTH: int = 4
-#: ALU-to-ALU send-to-use latency for nearest neighbors (Fig 3-2 walkthrough):
-#: five cycles total of which two perform computation => 3-cycle latency.
-SEND_TO_USE_CYCLES: int = 3
+STATIC_HOP_CYCLES: int = _DEFAULT.static_hop_cycles
+STATIC_FIFO_DEPTH: int = _DEFAULT.static_fifo_depth
+SEND_TO_USE_CYCLES: int = _DEFAULT.send_to_use_cycles
 
-# ---------------------------------------------------------------------------
-# Dynamic network (section 3.3): wormhole, dimension-ordered, 2-stage pipe.
-# ---------------------------------------------------------------------------
-DYNAMIC_BASE_CYCLES: int = 15  #: nearest-neighbor ALU-to-ALU minimum.
-DYNAMIC_PER_HOP_CYCLES: int = 2  #: two-stage pipelined router per hop.
-DYNAMIC_MAX_MESSAGE_WORDS: int = 32  #: including the header word.
+# Dynamic network (section 3.3).
+DYNAMIC_BASE_CYCLES: int = _DEFAULT.dynamic_base_cycles
+DYNAMIC_PER_HOP_CYCLES: int = _DEFAULT.dynamic_per_hop_cycles
+DYNAMIC_MAX_MESSAGE_WORDS: int = _DEFAULT.dynamic_max_message_words
 
-# ---------------------------------------------------------------------------
 # Tile processor (section 3.2) and buffer management costs (section 4.4).
-# ---------------------------------------------------------------------------
-#: Moving a word network->memory costs two instructions (receive + store):
-#: "buffering data on a tile's local memory requires two processor cycles
-#: per word" (section 4.4).
-NET_TO_MEM_CYCLES_PER_WORD: int = 2
-#: memory->network is a single register-mapped load-and-send
-#: (``lw $csto, 0(rs)``), one cycle per word.
-MEM_TO_NET_CYCLES_PER_WORD: int = 1
-#: network->network cut-through (``or $csto, $0, $csti``), one cycle per word.
-CUT_THROUGH_CYCLES_PER_WORD: int = 1
+NET_TO_MEM_CYCLES_PER_WORD: int = _DEFAULT.net_to_mem_cycles_per_word
+MEM_TO_NET_CYCLES_PER_WORD: int = _DEFAULT.mem_to_net_cycles_per_word
+CUT_THROUGH_CYCLES_PER_WORD: int = _DEFAULT.cut_through_cycles_per_word
+PREDICTED_BRANCH_CYCLES: int = _DEFAULT.predicted_branch_cycles
+MISPREDICTED_BRANCH_CYCLES: int = _DEFAULT.mispredicted_branch_cycles
 
-PREDICTED_BRANCH_CYCLES: int = 1  #: no penalty, but the branch itself issues.
-MISPREDICTED_BRANCH_CYCLES: int = 3  #: three-cycle misprediction penalty.
-
-# ---------------------------------------------------------------------------
 # Memory system (section 3.2).
-# ---------------------------------------------------------------------------
-DMEM_WORDS: int = 8192  #: per-tile data cache, 32-bit words.
-IMEM_WORDS: int = 8192  #: per-tile local instruction memory, 32-bit words.
-SWITCH_MEM_WORDS: int = 8192  #: per-tile switch memory, 64-bit words.
-CACHE_LINE_BYTES: int = 32
-CACHE_WAYS: int = 2
-CACHE_HIT_CYCLES: int = 3  #: 3-cycle latency data cache.
-#: Miss service: request + reply over the memory dynamic network plus DRAM;
-#: mid-chip round trip ~2 x (15 + 2*3) + DRAM ~= 54 cycles.
-CACHE_MISS_CYCLES: int = 54
+DMEM_WORDS: int = _DEFAULT.dmem_words
+IMEM_WORDS: int = _DEFAULT.imem_words
+SWITCH_MEM_WORDS: int = _DEFAULT.switch_mem_words
+CACHE_LINE_BYTES: int = _DEFAULT.cache_line_bytes
+CACHE_WAYS: int = _DEFAULT.cache_ways
+CACHE_HIT_CYCLES: int = _DEFAULT.cache_hit_cycles
+CACHE_MISS_CYCLES: int = _DEFAULT.cache_miss_cycles
 
-# ---------------------------------------------------------------------------
-# Router phase costs (chapters 5/6).  The per-quantum control sequence of
-# Fig 6-2 is: headers-request, headers send/recv, exchange around the ring,
-# choose_new_config (jump-table lookup on the tile processor), then the
-# confirmation handshake with the switch processor.  Header processing of
-# the *next* packet overlaps body streaming of the current one (section
-# 6.5); QUANTUM_CTL_OVERHEAD is the part that does not overlap.
-# ---------------------------------------------------------------------------
-HEADER_WORDS: int = 2  #: local header exchanged between crossbar tiles
-#: (output port + quantum length).
-
-#: Non-overlapped control cycles per routing quantum.  CALIBRATED: with
-#: cycles/quantum = words + expansion + C, the published Fig 7-1 peak
-#: throughputs imply C in [38, 54] across packet sizes; C = 48 reproduces
-#: 26.7 vs 26.9 Gbps at 1,024 B and 7.6 vs 7.3 Gbps at 64 B.
-QUANTUM_CTL_OVERHEAD: int = 48
-
-#: Largest tile-to-tile transfer block: packets longer than this are
-#: fragmented by the Ingress Processor (section 4.2) and reassembled by
-#: the Egress Processor.  256 words = 1,024 bytes, so every packet size in
-#: Fig 7-1 moves in a single quantum.
-MAX_QUANTUM_WORDS: int = 256
-
-#: Per-packet IP header work on the Ingress Processor (checksum verify and
-#: incremental update, TTL decrement, fragmentation decision) -- about 20
-#: unrolled integer instructions; overlapped with payload streaming.
-INGRESS_HEADER_CYCLES: int = 20
-
-#: Route lookup budget on the Lookup Processor; overlapped with payload
-#: buffering (section 4.3), so it only binds for tiny packets.
-LOOKUP_CYCLES: int = 30
+# Router phase costs (chapters 5/6).
+HEADER_WORDS: int = _DEFAULT.header_words
+QUANTUM_CTL_OVERHEAD: int = _DEFAULT.quantum_ctl_overhead
+MAX_QUANTUM_WORDS: int = _DEFAULT.max_quantum_words
+INGRESS_HEADER_CYCLES: int = _DEFAULT.ingress_header_cycles
+LOOKUP_CYCLES: int = _DEFAULT.lookup_cycles
 
 
 # ---------------------------------------------------------------------------
-# Helpers shared by the experiment harness.
+# Helpers shared by the experiment harness (delegate to the default model).
 # ---------------------------------------------------------------------------
 def bytes_to_words(nbytes: int) -> int:
     """Number of 32-bit network words needed to carry ``nbytes``."""
-    return (nbytes + WORD_BYTES - 1) // WORD_BYTES
+    return _DEFAULT.bytes_to_words(nbytes)
 
 
 def gbps(bits: float, cycles: float, clock_hz: float = CLOCK_HZ) -> float:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.raw import costs
+from repro.config import CostModel
 from repro.raw.layout import Direction, NUM_TILES, neighbor, tile_xy
 from repro.sim.channel import Channel
 from repro.sim.kernel import BUSY, Get, Put, Simulator, Timeout
@@ -48,7 +48,7 @@ class Header:
     def __post_init__(self):
         if not 0 <= self.dst < NUM_TILES:
             raise ValueError(f"destination tile {self.dst} out of range")
-        if not 0 <= self.length < costs.DYNAMIC_MAX_MESSAGE_WORDS:
+        if not 0 <= self.length < CostModel.default().dynamic_max_message_words:
             raise ValueError("message exceeds the 32-word dynamic-network limit")
 
 
@@ -70,9 +70,15 @@ def _route_direction(here: int, dst: int) -> Optional[Direction]:
 class WormholeNetwork:
     """One dynamic network: per-tile routers over flit channels."""
 
-    def __init__(self, sim: Simulator, name: str = "dyn"):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "dyn",
+        costs: CostModel = CostModel.default(),
+    ):
         self.sim = sim
         self.name = name
+        self.costs = costs
         # Directed tile-to-tile flit links.
         self._links: Dict[Tuple[int, int], Channel] = {}
         # Processor-side inject queues and eject mailboxes.
@@ -100,7 +106,7 @@ class WormholeNetwork:
                 if other is not None:
                     self._links[(tile, other)] = sim.channel(
                         f"{name}.t{tile}->t{other}",
-                        capacity=costs.STATIC_FIFO_DEPTH,
+                        capacity=costs.static_fifo_depth,
                         latency=1,
                     )
             for side in _SIDES:

@@ -14,7 +14,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.raw import costs
+from repro.config import CostModel
+
+_DEFAULT = CostModel.default()
 
 
 @dataclass
@@ -23,6 +25,7 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    miss_cycles: int = _DEFAULT.cache_miss_cycles
 
     @property
     def accesses(self) -> int:
@@ -34,7 +37,7 @@ class CacheStats:
 
     @property
     def stall_cycles(self) -> int:
-        return self.misses * costs.CACHE_MISS_CYCLES
+        return self.misses * self.miss_cycles
 
 
 class DataCache:
@@ -53,15 +56,16 @@ class DataCache:
 
     def __init__(
         self,
-        size_words: int = costs.DMEM_WORDS,
-        line_bytes: int = costs.CACHE_LINE_BYTES,
-        ways: int = costs.CACHE_WAYS,
-        hit_cycles: int = costs.CACHE_HIT_CYCLES,
-        miss_cycles: int = costs.CACHE_MISS_CYCLES,
+        size_words: int = _DEFAULT.dmem_words,
+        line_bytes: int = _DEFAULT.cache_line_bytes,
+        ways: int = _DEFAULT.cache_ways,
+        hit_cycles: int = _DEFAULT.cache_hit_cycles,
+        miss_cycles: int = _DEFAULT.cache_miss_cycles,
+        word_bytes: int = _DEFAULT.word_bytes,
     ):
         if size_words <= 0 or line_bytes <= 0 or ways <= 0:
             raise ValueError("cache geometry must be positive")
-        line_words = line_bytes // costs.WORD_BYTES
+        line_words = line_bytes // word_bytes
         num_lines = size_words // line_words
         if num_lines % ways != 0:
             raise ValueError("cache size not divisible into ways")
@@ -70,9 +74,21 @@ class DataCache:
         self.num_sets = num_lines // ways
         self.hit_cycles = hit_cycles
         self.miss_cycles = miss_cycles
-        self.stats = CacheStats()
+        self.stats = CacheStats(miss_cycles=miss_cycles)
         # Per-set list of resident tags in LRU order (front = LRU).
         self._sets: Dict[int, List[int]] = {}
+
+    @classmethod
+    def for_model(cls, costs: CostModel) -> "DataCache":
+        """A tile data cache with the geometry/latencies of ``costs``."""
+        return cls(
+            size_words=costs.dmem_words,
+            line_bytes=costs.cache_line_bytes,
+            ways=costs.cache_ways,
+            hit_cycles=costs.cache_hit_cycles,
+            miss_cycles=costs.cache_miss_cycles,
+            word_bytes=costs.word_bytes,
+        )
 
     def _locate(self, addr: int) -> tuple:
         line = addr // self.line_bytes

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.raw import costs
+from repro.config import CostModel
 from repro.raw.layout import Direction, NUM_TILES, manhattan, neighbor, tile_xy
 from repro.sim.channel import Channel
 from repro.sim.kernel import Put, Simulator, Timeout
@@ -33,9 +33,15 @@ class StaticNetwork:
     (section 3.4: the internal networks are multiplexed off-chip).
     """
 
-    def __init__(self, sim: Simulator, index: int = 1):
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int = 1,
+        costs: CostModel = CostModel.default(),
+    ):
         self.sim = sim
         self.index = index
+        self.costs = costs
         self._links: Dict[Tuple[int, int], Channel] = {}
         self._edges: Dict[Tuple[int, Direction], Channel] = {}
         for tile in range(NUM_TILES):
@@ -49,19 +55,19 @@ class StaticNetwork:
                 if other is None:
                     self._edges[(tile, direction)] = sim.channel(
                         f"sn{index}.edge.t{tile}.{direction.value}",
-                        capacity=costs.STATIC_FIFO_DEPTH,
-                        latency=costs.STATIC_HOP_CYCLES,
+                        capacity=costs.static_fifo_depth,
+                        latency=costs.static_hop_cycles,
                     )
                 elif (tile, other) not in self._links:
                     self._links[(tile, other)] = sim.channel(
                         f"sn{index}.t{tile}->t{other}",
-                        capacity=costs.STATIC_FIFO_DEPTH,
-                        latency=costs.STATIC_HOP_CYCLES,
+                        capacity=costs.static_fifo_depth,
+                        latency=costs.static_hop_cycles,
                     )
                     self._links[(other, tile)] = sim.channel(
                         f"sn{index}.t{other}->t{tile}",
-                        capacity=costs.STATIC_FIFO_DEPTH,
-                        latency=costs.STATIC_HOP_CYCLES,
+                        capacity=costs.static_fifo_depth,
+                        latency=costs.static_hop_cycles,
                     )
 
     def link(self, src: int, dst: int) -> Channel:
@@ -92,8 +98,14 @@ class StaticNetwork:
 class DynamicNetwork:
     """Latency model + mailbox delivery for Raw's dynamic networks."""
 
-    def __init__(self, sim: Optional[Simulator] = None, mailbox_capacity: int = 64):
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        mailbox_capacity: int = 64,
+        costs: CostModel = CostModel.default(),
+    ):
         self.sim = sim
+        self.costs = costs
         self._mailboxes: Dict[int, Channel] = {}
         if sim is not None:
             for tile in range(NUM_TILES):
@@ -102,7 +114,12 @@ class DynamicNetwork:
                 )
 
     @staticmethod
-    def latency(src: int, dst: int, words: int = 1) -> int:
+    def latency(
+        src: int,
+        dst: int,
+        words: int = 1,
+        costs: CostModel = CostModel.default(),
+    ) -> int:
         """End-to-end cycles for a ``words``-long message ``src -> dst``.
 
         Nearest neighbor single-word = 15 cycles; each extra hop adds the
@@ -110,14 +127,14 @@ class DynamicNetwork:
         flit at one word per cycle.  Matches the thesis's quoted 15-30
         cycle nearest-neighbor ALU-to-ALU range for 1..16-word payloads.
         """
-        if words < 1 or words > costs.DYNAMIC_MAX_MESSAGE_WORDS:
+        if words < 1 or words > costs.dynamic_max_message_words:
             raise ValueError(
-                f"dynamic message must be 1..{costs.DYNAMIC_MAX_MESSAGE_WORDS} words"
+                f"dynamic message must be 1..{costs.dynamic_max_message_words} words"
             )
         hops = max(manhattan(src, dst), 1)
         return (
-            costs.DYNAMIC_BASE_CYCLES
-            + (hops - 1) * costs.DYNAMIC_PER_HOP_CYCLES
+            costs.dynamic_base_cycles
+            + (hops - 1) * costs.dynamic_per_hop_cycles
             + (words - 1)
         )
 
@@ -133,7 +150,7 @@ class DynamicNetwork:
 
             yield from dnet.send(my_tile, other_tile, payload, words=3)
         """
-        yield Timeout(self.latency(src, dst, words))
+        yield Timeout(self.latency(src, dst, words, costs=self.costs))
         yield Put(self.mailbox(dst), message)
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.raw import costs
+from repro.config import CostModel
 from repro.raw.memory import DataCache
 from repro.sim.channel import Channel
 from repro.sim.kernel import BUSY, Get, MEM_BLOCK, Put, Timeout
@@ -29,10 +29,17 @@ class TileProgram:
     versus blocked lands in the utilization trace (thesis Fig 7-3).
     """
 
-    def __init__(self, tile: int, name: Optional[str] = None, cache: Optional[DataCache] = None):
+    def __init__(
+        self,
+        tile: int,
+        name: Optional[str] = None,
+        cache: Optional[DataCache] = None,
+        costs: CostModel = CostModel.default(),
+    ):
         self.tile = tile
         self.name = name or f"{type(self).__name__}@t{tile}"
-        self.cache = cache if cache is not None else DataCache()
+        self.costs = costs
+        self.cache = cache if cache is not None else DataCache.for_model(costs)
 
     # -- command vocabulary (return kernel command objects) --------------
     @staticmethod
@@ -58,15 +65,15 @@ class TileProgram:
     # -- compound costed operations (generators to ``yield from``) -------
     def load_words(self, addr: int, nwords: int) -> Generator:
         """Stream ``nwords`` from local memory: 1 cycle/word + miss stalls."""
-        stall = self.cache.touch_range(addr, nwords * costs.WORD_BYTES)
-        yield self.compute(nwords * costs.MEM_TO_NET_CYCLES_PER_WORD)
+        stall = self.cache.touch_range(addr, nwords * self.costs.word_bytes)
+        yield self.compute(nwords * self.costs.mem_to_net_cycles_per_word)
         if stall:
             yield self.mem_stall(stall)
 
     def store_words(self, addr: int, nwords: int) -> Generator:
         """Buffer ``nwords`` into local memory: 2 cycles/word + miss stalls."""
-        stall = self.cache.touch_range(addr, nwords * costs.WORD_BYTES)
-        yield self.compute(nwords * costs.NET_TO_MEM_CYCLES_PER_WORD)
+        stall = self.cache.touch_range(addr, nwords * self.costs.word_bytes)
+        yield self.compute(nwords * self.costs.net_to_mem_cycles_per_word)
         if stall:
             yield self.mem_stall(stall)
 

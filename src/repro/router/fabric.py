@@ -73,7 +73,8 @@ class RotatingCrossbarFabric:
                 w = frag.words * (transform.cycles_per_word if transform else 1)
                 body = max(body, w + grant.expansion)
             duration = (
-                quantum_cycles(0, 0, timing, router.pipelined) + body
+                quantum_cycles(0, 0, timing, router.pipelined, costs=router.costs)
+                + body
             )
             stats.quanta += 1
             stats.blocked_grants += len(alloc.blocked)

@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from repro.ip.packet import IPv4Packet
-from repro.raw import costs
 from repro.router.frags import fragment_packet
 from repro.sim.channel import Channel
 from repro.sim.kernel import BUSY, Get, Put, Timeout
@@ -61,9 +60,9 @@ class IngressProcessor:
             # Stream the packet in from the line (1 word/cycle); the
             # route lookup runs on the Lookup Processor concurrently and
             # only extends the critical path when it outlasts the payload.
-            lookup_extra = max(0, costs.LOOKUP_CYCLES - words)
+            lookup_extra = max(0, router.costs.lookup_cycles - words)
             yield Timeout(words + lookup_extra, BUSY)
-            yield Timeout(costs.INGRESS_HEADER_CYCLES, BUSY)
+            yield Timeout(router.costs.ingress_header_cycles, BUSY)
 
             # Functional header path: these really run on the packet.
             if not pkt.checksum_ok():

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.config import CostModel, SimConfig
 from repro.core.allocator import Allocator
 from repro.core.compute import StreamTransform
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming
@@ -29,7 +30,6 @@ from repro.core.ring import RingGeometry
 from repro.core.scheduler import CompiledSchedule
 from repro.core.token import RotatingToken
 from repro.ip.lookup import RoutingTable
-from repro.raw import costs
 from repro.router.egress import EgressProcessor
 from repro.router.fabric import RotatingCrossbarFabric
 from repro.router.ingress import IngressProcessor
@@ -72,8 +72,8 @@ class RawRouter:
         table: Optional[RoutingTable] = None,
         trace: Optional[Trace] = None,
         networks: int = 1,
-        max_quantum_words: int = costs.MAX_QUANTUM_WORDS,
-        timing: PhaseTiming = DEFAULT_TIMING,
+        max_quantum_words: Optional[int] = None,
+        timing: Optional[PhaseTiming] = None,
         pipelined: bool = True,
         transform: Optional[StreamTransform] = None,
         token: Optional[RotatingToken] = None,
@@ -81,19 +81,31 @@ class RawRouter:
         input_queue_frags: int = 64,
         egress_queue_frags: int = 8,
         warmup_cycles: int = 0,
+        costs: CostModel = CostModel.default(),
     ):
+        self.costs = costs
         self.num_ports = num_ports
         self.table = table or RoutingTable.uniform_split(num_ports)
         self.sim = Simulator(trace=trace)
         self.ring = RingGeometry(num_ports)
         self.allocator = Allocator(self.ring, networks=networks)
         self.token = token or RotatingToken(num_ports)
+        if timing is None:
+            timing = (
+                DEFAULT_TIMING
+                if costs.quantum_ctl_overhead == DEFAULT_TIMING.control_total
+                else PhaseTiming.for_model(costs)
+            )
         self.timing = timing
         self.pipelined = pipelined
         self.transform = transform
         self.schedule = schedule
-        self.max_quantum_words = max_quantum_words
-        self.stats = RouterStats(num_ports=num_ports, warmup_cycles=warmup_cycles)
+        self.max_quantum_words = (
+            costs.max_quantum_words if max_quantum_words is None else max_quantum_words
+        )
+        self.stats = RouterStats(
+            num_ports=num_ports, warmup_cycles=warmup_cycles, costs=costs
+        )
 
         self.input_queues = [
             self.sim.channel(f"inq{p}", capacity=input_queue_frags)
@@ -107,6 +119,27 @@ class RawRouter:
         self.fabric_wake = self.sim.channel("fabric_wake", capacity=1)
         self._fabric_started = False
         self._attached = False
+
+    @classmethod
+    def from_config(
+        cls,
+        config: SimConfig,
+        trace: Optional[Trace] = None,
+        warmup_cycles: int = 0,
+        **overrides,
+    ) -> "RawRouter":
+        """Build a router from a :class:`~repro.config.SimConfig` value."""
+        return cls(
+            num_ports=config.ports,
+            trace=trace,
+            networks=config.networks,
+            pipelined=config.pipelined,
+            input_queue_frags=config.input_queue_frags,
+            egress_queue_frags=config.egress_queue_frags,
+            warmup_cycles=warmup_cycles,
+            costs=config.cost_model(),
+            **overrides,
+        )
 
     # ------------------------------------------------------------------
     def _start_fabric_and_egress(self) -> None:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.config import CostModel
 from repro.metrics.latency import LatencyStats
 from repro.metrics.throughput import ThroughputMeter
 
@@ -33,6 +34,7 @@ class RouterStats:
     idle_quanta: int = 0
     blocked_grants: int = 0
     grant_histogram: List[int] = field(default_factory=list)
+    costs: CostModel = field(default_factory=CostModel.default)
 
     def __post_init__(self):
         if self.meter is None:
@@ -58,10 +60,10 @@ class RouterStats:
                 self.per_input_bits[input_port] += nbytes * 8
 
     def gbps(self, end_cycle: int) -> float:
-        return self.meter.gbps(end_cycle)
+        return self.meter.gbps(end_cycle, clock_hz=self.costs.clock_hz)
 
     def mpps(self, end_cycle: int) -> float:
-        return self.meter.mpps(end_cycle)
+        return self.meter.mpps(end_cycle, clock_hz=self.costs.clock_hz)
 
     @property
     def delivered_packets(self) -> int:

@@ -24,11 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
+from repro.config import CostModel
 from repro.core.allocator import Allocation, Allocator
 from repro.core.ring import CW, RingGeometry
 from repro.ip.packet import IPv4Packet
 from repro.metrics.utilization import UtilizationSummary, summarize_trace
-from repro.raw import costs
 from repro.raw.chip import RawChip
 from repro.raw.layout import CROSSBAR_RING, ROUTER_LAYOUT
 from repro.raw.switchproc import RouteInstruction, SwitchProcessor
@@ -75,18 +75,19 @@ class WordLevelResult:
     delivered_words: int
     per_port_packets: List[int]
     trace: Optional[Trace]
+    costs: CostModel = CostModel.default()
 
     @property
     def gbps(self) -> float:
         if self.cycles == 0:
             return 0.0
-        return costs.gbps(self.delivered_words * costs.WORD_BITS, self.cycles)
+        return self.costs.gbps(self.delivered_words * self.costs.word_bits, self.cycles)
 
     @property
     def mpps(self) -> float:
         if self.cycles == 0:
             return 0.0
-        return costs.mpps(self.delivered_packets, self.cycles)
+        return self.costs.mpps(self.delivered_packets, self.cycles)
 
     def utilization(self, start: int = 0, stop: Optional[int] = None) -> Dict[str, UtilizationSummary]:
         if self.trace is None:
@@ -102,8 +103,10 @@ class WordLevelRouter:
         source: WordSource,
         trace: Optional[Trace] = None,
         verify_payloads: bool = False,
+        costs: CostModel = CostModel.default(),
     ):
-        self.chip = RawChip(trace=trace, num_static_networks=1)
+        self.costs = costs
+        self.chip = RawChip(trace=trace, num_static_networks=1, costs=costs)
         self.trace = trace
         self.source = source
         self.verify_payloads = verify_payloads
@@ -178,20 +181,20 @@ class WordLevelRouter:
                 yield Put(self.lk_req[port], pkt.dst)
                 looked_up = yield Get(self.lk_resp[port])
                 dest = looked_up if looked_up is not None else dest
-                yield Timeout(costs.INGRESS_HEADER_CYCLES, BUSY)
+                yield Timeout(self.costs.ingress_header_cycles, BUSY)
                 if not pkt.checksum_ok():
                     continue
                 pkt.decrement_ttl()
                 words = pkt.to_words()
                 nwords = len(words)
-                if nwords > costs.MAX_QUANTUM_WORDS:
+                if nwords > self.costs.max_quantum_words:
                     raise ValueError(
                         "word-level model handles single-quantum packets only"
                     )
                 # Buffer the payload in local memory.  The ring buffer is
                 # sized at two quanta so it stays cache-resident: only
                 # the first pass takes compulsory misses.
-                buf_region = 2 * costs.MAX_QUANTUM_WORDS * 4
+                buf_region = 2 * self.costs.max_quantum_words * 4
                 stall = cache.touch_range(buf_addr, nwords * 4)
                 buf_addr = (buf_addr + nwords * 4) % buf_region
                 if stall:
@@ -229,7 +232,9 @@ class WordLevelRouter:
         while True:
             dst = yield Get(self.lk_req[port])
             out, visits = table.lookup_with_path(dst)
-            cost = model.cost(visits, (v * costs.CACHE_LINE_BYTES for v in range(visits)))
+            cost = model.cost(
+                visits, (v * self.costs.cache_line_bytes for v in range(visits))
+            )
             yield Timeout(cost, BUSY)
             yield Put(self.lk_resp[port], out)
 
@@ -420,6 +425,7 @@ class WordLevelRouter:
                 a - b for a, b in zip(self.per_port_packets, base_per_port)
             ],
             trace=self.trace,
+            costs=self.costs,
         )
 
 

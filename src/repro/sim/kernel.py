@@ -85,6 +85,7 @@ class Process:
         "result",
         "_block_start",
         "_block_state",
+        "_block_channel",
     )
 
     def __init__(self, gen: Generator, name: str, trace_key: Optional[str]):
@@ -95,6 +96,7 @@ class Process:
         self.result: Any = None
         self._block_start: int = -1
         self._block_state: str = ""
+        self._block_channel: Optional[Channel] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Process({self.name!r}, alive={self.alive})"
@@ -118,6 +120,7 @@ class Simulator:
         self._seq = 0
         self._processes: List[Process] = []
         self._blocked: Dict[int, Process] = {}
+        self._drained_blocked: List[Process] = []
 
     # ------------------------------------------------------------------
     def add_process(
@@ -146,9 +149,12 @@ class Simulator:
         if self.trace is not None and proc.trace_key is not None:
             self.trace.record(proc.trace_key, state, start, end)
 
-    def _mark_blocked(self, proc: Process, state: str) -> None:
+    def _mark_blocked(
+        self, proc: Process, state: str, channel: Optional[Channel] = None
+    ) -> None:
         proc._block_start = self.now
         proc._block_state = state
+        proc._block_channel = channel
         self._blocked[id(proc)] = proc
 
     def _unblock(self, proc: Process, value: Any) -> None:
@@ -156,6 +162,7 @@ class Simulator:
         if proc._block_start >= 0:
             self._record(proc, proc._block_state, proc._block_start, self.now)
             proc._block_start = -1
+            proc._block_channel = None
         self._ready.append((proc, value))
 
     # ------------------------------------------------------------------
@@ -252,7 +259,7 @@ class Simulator:
                             self._schedule(ready_at, "service", ch)
                     continue  # put completed this cycle
                 ch._putters.append((proc, cmd.value))
-                self._mark_blocked(proc, TX_BLOCK)
+                self._mark_blocked(proc, TX_BLOCK, ch)
                 return
 
             if isinstance(cmd, Get):
@@ -264,7 +271,7 @@ class Simulator:
                     send_value = value
                     continue  # get completed this cycle
                 ch._getters.append(proc)
-                self._mark_blocked(proc, RX_BLOCK)
+                self._mark_blocked(proc, RX_BLOCK, ch)
                 if ch._items:  # word in flight; wake when it lands
                     self._schedule(ch._items[0][0], "service", ch)
                 return
@@ -283,7 +290,12 @@ class Simulator:
         the queue drains while processes remain blocked on channels, a
         :class:`DeadlockError` is raised unless ``raise_on_deadlock`` is
         false (useful for open-ended pipelines whose sources finished).
+        With ``until`` set, the same situation returns normally -- often
+        legitimately (the bounded run outlived its sources) but sometimes
+        masking a real deadlock; :meth:`blocked_report` says which
+        processes were left stuck and since when.
         """
+        self._drained_blocked = []
         while True:
             while self._ready:
                 proc, value = self._ready.popleft()
@@ -307,9 +319,33 @@ class Simulator:
                     self._service_channel(payload)
 
         blocked = [p for p in self._blocked.values() if p.alive]
+        self._drained_blocked = blocked
         if blocked and raise_on_deadlock and until is None:
             raise DeadlockError(blocked)
         return self.now
+
+    def blocked_report(self) -> List[Dict[str, Any]]:
+        """Processes left blocked when the last :meth:`run` drained.
+
+        One dict per stuck process: ``name``, ``state`` (``tx``/``rx``),
+        ``channel`` (the channel's name, or None if it was unnamed), and
+        ``since`` (the cycle it blocked).  Empty when the last run
+        drained cleanly or was cut off by ``until`` with events still
+        pending.
+        """
+        return [
+            {
+                "name": proc.name,
+                "state": proc._block_state,
+                "channel": (
+                    proc._block_channel.name or None
+                    if proc._block_channel is not None
+                    else None
+                ),
+                "since": proc._block_start,
+            }
+            for proc in self._drained_blocked
+        ]
 
 
 def run_processes(

@@ -1,0 +1,197 @@
+"""Declarative configuration sweeps over ``multiprocessing`` workers.
+
+Because :class:`~repro.config.SimConfig`, :class:`~repro.config.CostModel`
+and :class:`~repro.engines.WorkloadSpec` are frozen picklable values and
+every engine is reachable through
+:func:`repro.engines.run_config`, a scaling study is just a grid of
+configurations fanned across worker processes::
+
+    python -m repro sweep --grid ports=4 quantum=256,512,1024 --workers 4
+
+Grid keys name :class:`SimConfig` fields (with the short aliases
+``quantum`` -> ``quantum_words``, ``clock`` -> ``clock_hz``, ``fifo`` ->
+``static_fifo_depth``, ``engine`` -> ``fidelity``),
+:class:`WorkloadSpec` fields (plus ``bytes``/``size`` ->
+``packet_bytes``), or any :class:`CostModel` field (so the calibrated
+``quantum_ctl_overhead`` itself can be swept).  Each cell gets a
+deterministic seed derived from the base seed and the cell's key/value
+assignment -- rerunning a sweep, or running it with a different worker
+count, reproduces identical rows.
+
+The output is a JSON table: one row per cell with the fully-resolved
+config, the workload, the :class:`~repro.engines.RunResult` schema, and
+the worker pid that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from itertools import product
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import COST_MODEL_FIELDS, SIM_CONFIG_FIELDS, SimConfig
+from repro.engines import WorkloadSpec, run_config
+
+#: Short grid-key aliases for the most-swept knobs.
+ALIASES = {
+    "quantum": "quantum_words",
+    "clock": "clock_hz",
+    "fifo": "static_fifo_depth",
+    "engine": "fidelity",
+    "bytes": "packet_bytes",
+    "size": "packet_bytes",
+    "load_pattern": "pattern",
+}
+
+_WORKLOAD_FIELDS = frozenset(WorkloadSpec.__dataclass_fields__)
+
+
+def _parse_value(text: str) -> Any:
+    """int, then float, then bool, else the bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def parse_grid(specs: Sequence[str]) -> Dict[str, List[Any]]:
+    """``["ports=4", "quantum=256,512"] -> {"ports": [4], ...}``."""
+    grid: Dict[str, List[Any]] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise ValueError(f"grid entry {spec!r} is not key=value[,value...]")
+        key, _, values = spec.partition("=")
+        key = ALIASES.get(key.strip(), key.strip())
+        if not values:
+            raise ValueError(f"grid entry {spec!r} has no values")
+        grid[key] = [_parse_value(v) for v in values.split(",")]
+    return grid
+
+
+def expand_grid(grid: Dict[str, List[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of the grid, in deterministic key order."""
+    keys = sorted(grid)
+    return [dict(zip(keys, combo)) for combo in product(*(grid[k] for k in keys))]
+
+
+def cell_seed(base_seed: int, cell: Dict[str, Any]) -> int:
+    """Deterministic per-cell seed: stable across runs and worker counts."""
+    canonical = json.dumps(cell, sort_keys=True, default=str).encode()
+    return (base_seed + zlib.crc32(canonical)) % (2**31)
+
+
+def build_cell(
+    cell: Dict[str, Any],
+    base_config: Optional[SimConfig] = None,
+    base_workload: Optional[WorkloadSpec] = None,
+    base_seed: int = 0,
+) -> Tuple[SimConfig, WorkloadSpec]:
+    """Route a cell's key/value assignment onto (SimConfig, WorkloadSpec).
+
+    Precedence for ambiguous names: SimConfig field, then WorkloadSpec
+    field, then CostModel field; unknown keys raise."""
+    config = base_config or SimConfig()
+    workload = base_workload or WorkloadSpec()
+    config_changes: Dict[str, Any] = {}
+    workload_changes: Dict[str, Any] = {}
+    cost_changes: Dict[str, Any] = {}
+    for key, value in cell.items():
+        if key in SIM_CONFIG_FIELDS:
+            config_changes[key] = value
+        elif key in _WORKLOAD_FIELDS:
+            workload_changes[key] = value
+        elif key in COST_MODEL_FIELDS:
+            cost_changes[key] = value
+        else:
+            raise ValueError(
+                f"unknown grid key {key!r}: not a SimConfig, WorkloadSpec, "
+                "or CostModel field"
+            )
+    if cost_changes:
+        config_changes["costs"] = config.costs.replace(**cost_changes)
+    config_changes.setdefault("seed", cell_seed(base_seed, cell))
+    return config.replace(**config_changes), (
+        workload.replace(**workload_changes) if workload_changes else workload
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point (must be importable for multiprocessing pickling).
+# ---------------------------------------------------------------------------
+def _run_cell(payload: Tuple[Dict[str, Any], SimConfig, WorkloadSpec]) -> Dict[str, Any]:
+    cell, config, workload = payload
+    result = run_config(config, workload)
+    row = {
+        "cell": cell,
+        "seed": config.seed,
+        "worker_pid": os.getpid(),
+        "result": result.to_dict(),
+    }
+    return row
+
+
+def run_sweep(
+    grid: Dict[str, List[Any]],
+    workers: int = 1,
+    base_config: Optional[SimConfig] = None,
+    base_workload: Optional[WorkloadSpec] = None,
+    base_seed: int = 0,
+) -> Dict[str, Any]:
+    """Run every cell of ``grid``; returns the JSON-ready results table.
+
+    ``workers > 1`` fans cells across a ``multiprocessing`` pool
+    (chunksize 1, so short grids still spread over the pool); the row
+    order always matches :func:`expand_grid` regardless of scheduling.
+    """
+    cells = expand_grid(grid)
+    payloads = [
+        (cell, *build_cell(cell, base_config, base_workload, base_seed))
+        for cell in cells
+    ]
+    if workers > 1 and len(cells) > 1:
+        import multiprocessing as mp
+
+        with mp.Pool(processes=workers) as pool:
+            rows = pool.map(_run_cell, payloads, chunksize=1)
+    else:
+        rows = [_run_cell(p) for p in payloads]
+    return {
+        "sweep": {
+            "grid": grid,
+            "cells": len(cells),
+            "workers": workers,
+            "base_seed": base_seed,
+            "worker_pids": sorted({r["worker_pid"] for r in rows}),
+        },
+        "rows": rows,
+    }
+
+
+def write_results(table: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(table, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def summarize(table: Dict[str, Any]) -> str:
+    """A terminal-friendly one-line-per-cell summary of a sweep table."""
+    lines = []
+    meta = table["sweep"]
+    lines.append(
+        f"{meta['cells']} cells, {meta['workers']} workers "
+        f"({len(meta['worker_pids'])} distinct pids)"
+    )
+    for row in table["rows"]:
+        cell = " ".join(f"{k}={v}" for k, v in sorted(row["cell"].items()))
+        res = row["result"]
+        lines.append(
+            f"  {cell:<40} {res['gbps']:8.3f} Gbps  {res['mpps']:7.3f} Mpps  "
+            f"{res['delivered_packets']} pkts / {res['cycles']} cycles"
+        )
+    return "\n".join(lines)

@@ -418,3 +418,95 @@ def test_clock_sums_timeouts(delays):
     sim.add_process(proc())
     sim.run()
     assert sim.now == sum(delays)
+
+
+class TestBlockedReport:
+    """A bounded run that drains with stuck processes must be inspectable
+    (with ``until`` set the kernel returns instead of raising, which can
+    silently mask a real deadlock)."""
+
+    def test_rx_blocked_process_is_reported(self):
+        def stuck(ch):
+            yield Get(ch)  # nothing is ever put
+
+        sim = Simulator()
+        ch = sim.channel("hdr_in", capacity=1)
+        sim.add_process(stuck(ch), name="egress0")
+        sim.run(until=100)
+        assert sim.blocked_report() == [
+            {"name": "egress0", "state": RX_BLOCK, "channel": "hdr_in", "since": 0}
+        ]
+
+    def test_tx_blocked_process_is_reported(self):
+        def producer(ch):
+            yield Timeout(5)
+            yield Put(ch, 1)  # fills the only slot
+            yield Put(ch, 2)  # blocks forever: no consumer
+
+        sim = Simulator()
+        ch = sim.channel("body", capacity=1)
+        sim.add_process(producer(ch), name="ingress0")
+        sim.run(until=100)
+        (entry,) = sim.blocked_report()
+        assert entry["name"] == "ingress0"
+        assert entry["state"] == TX_BLOCK
+        assert entry["channel"] == "body"
+        assert entry["since"] == 5
+
+    def test_unnamed_channel_reports_none(self):
+        def stuck(ch):
+            yield Get(ch)
+
+        sim = Simulator()
+        ch = sim.channel(capacity=1)
+        sim.add_process(stuck(ch), name="p")
+        sim.run(until=10)
+        assert sim.blocked_report()[0]["channel"] is None
+
+    def test_clean_drain_reports_nothing(self):
+        def proc():
+            yield Timeout(3)
+
+        sim = Simulator()
+        sim.add_process(proc())
+        sim.run(until=100)
+        assert sim.blocked_report() == []
+
+    def test_cutoff_with_pending_events_reports_nothing(self):
+        # Stopped by the horizon, not drained: nothing is stuck.
+        def ticker():
+            while True:
+                yield Timeout(10)
+
+        sim = Simulator()
+        sim.add_process(ticker(), name="t")
+        sim.run(until=35)
+        assert sim.blocked_report() == []
+
+    def test_report_resets_between_runs(self):
+        def stuck(ch):
+            yield Get(ch)
+
+        def rescuer(ch):
+            yield Timeout(1)
+            yield Put(ch, 42)
+
+        sim = Simulator()
+        ch = sim.channel("c", capacity=1)
+        sim.add_process(stuck(ch), name="s")
+        sim.run(until=10)
+        assert len(sim.blocked_report()) == 1
+        sim.add_process(rescuer(ch), name="r")
+        sim.run(until=20)
+        assert sim.blocked_report() == []
+
+    def test_unbounded_run_still_raises(self):
+        def stuck(ch):
+            yield Get(ch)
+
+        sim = Simulator()
+        ch = sim.channel("c", capacity=1)
+        sim.add_process(stuck(ch), name="s")
+        with pytest.raises(DeadlockError):
+            sim.run()
+        assert len(sim.blocked_report()) == 1
