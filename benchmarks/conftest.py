@@ -51,8 +51,13 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line("")
         for line in text.splitlines():
             terminalreporter.write_line(line)
-    RESULTS_PATH.write_text(
-        json.dumps({"tables": _RESULTS}, indent=2, default=str) + "\n"
-    )
+    # Merge into the existing file: the kernel wall-clock bench
+    # (``python -m repro bench``) keeps its trajectory under other keys.
+    try:
+        data = json.loads(RESULTS_PATH.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data["tables"] = _RESULTS
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, default=str) + "\n")
     terminalreporter.write_line("")
     terminalreporter.write_line(f"structured tables written to {RESULTS_PATH}")

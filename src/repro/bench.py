@@ -1,0 +1,224 @@
+"""Wall-clock benchmark harness: how fast does the simulator itself run?
+
+Every other benchmark in this repository measures the *simulated* router
+(Gbps, Mpps, cycle counts).  This module measures the *simulator*: wall
+time, simulated cycles per second, and kernel events per second for each
+of the three engines, so kernel optimizations have a recorded
+trajectory.  ``python -m repro bench`` runs the suite and merges the
+numbers into ``benchmarks/BENCH_results.json`` (next to the paper
+tables) under a ``kernel_bench`` key:
+
+* the first ever run for a budget mode is stored as the ``baseline``
+  (the pre-optimization kernel; re-pin explicitly with
+  ``--set-baseline``),
+* every run updates ``current`` and recomputes per-engine
+  ``speedup_vs_baseline`` as the wall-clock ratio baseline/current.
+
+``--quick`` shrinks the budgets for CI smoke runs; ``--check``
+validates the schema of an existing results file and exits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.config import SimConfig
+from repro.engines import WorkloadSpec, run_config
+
+#: Schema tag stored in the results file; bump on incompatible changes.
+BENCH_SCHEMA = "repro-kernel-bench/1"
+
+#: Default output path: next to the paper-table benchmark results.
+DEFAULT_RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent.parent / "benchmarks" / "BENCH_results.json"
+)
+
+#: Per-engine budgets.  ``full`` matches the experiment harness's
+#: standard budgets (the wordlevel one is the Fig 7-3 regime); ``quick``
+#: is sized for a CI smoke step.
+BUDGETS: Dict[str, Dict[str, WorkloadSpec]] = {
+    "full": {
+        "fabric": WorkloadSpec(quanta=2000),
+        "router": WorkloadSpec(packets=1500),
+        "wordlevel": WorkloadSpec(cycles=120_000, warmup_cycles=20_000),
+    },
+    "quick": {
+        "fabric": WorkloadSpec(quanta=400),
+        "router": WorkloadSpec(packets=250),
+        "wordlevel": WorkloadSpec(cycles=24_000, warmup_cycles=4_000),
+    },
+}
+
+
+def bench_engine(
+    fidelity: str, mode: str = "full", repeats: int = 1
+) -> Dict[str, Any]:
+    """Time one engine at the given budget; returns a result row.
+
+    ``wall_s`` is the best (minimum) of ``repeats`` timings of a full
+    engine build + run; ``sim_cycles`` includes warmup (the kernel
+    simulates those cycles too, so they belong in cycles/sec)."""
+    workload = BUDGETS[mode][fidelity]
+    config = SimConfig(fidelity=fidelity)
+    best: Optional[float] = None
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = run_config(config, workload)
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    assert result is not None and best is not None
+    warmup = workload.warmup_cycles if fidelity == "wordlevel" else 0
+    sim_cycles = result.cycles + warmup
+    events = result.extra.get("kernel_events")
+    return {
+        "engine": fidelity,
+        "wall_s": best,
+        "sim_cycles": sim_cycles,
+        "cycles_per_sec": sim_cycles / best if best > 0 else None,
+        "kernel_events": events,
+        "events_per_sec": (events / best) if (events and best > 0) else None,
+        "delivered_packets": result.delivered_packets,
+        "gbps": result.gbps,
+        "workload": workload.to_dict(),
+    }
+
+
+def run_bench(
+    mode: str = "full",
+    engines: Optional[List[str]] = None,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Run the bench suite; returns the JSON-ready report."""
+    if mode not in BUDGETS:
+        raise ValueError(f"unknown bench mode {mode!r}")
+    engines = list(engines or BUDGETS[mode])
+    runs = [bench_engine(f, mode=mode, repeats=repeats) for f in engines]
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "runs": runs,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Results-file plumbing.
+# ---------------------------------------------------------------------------
+def load_results(path: Path) -> Dict[str, Any]:
+    if path.exists():
+        return json.loads(path.read_text())
+    return {}
+
+
+def merge_results(
+    data: Dict[str, Any], report: Dict[str, Any], set_baseline: bool = False
+) -> Dict[str, Any]:
+    """Fold a bench report into the results dict (pure; returns it).
+
+    The first report seen for a budget mode becomes that mode's
+    baseline; later reports update ``current`` and the per-engine
+    speedups.  Paper tables under other keys are left untouched."""
+    kb = data.setdefault("kernel_bench", {"schema": BENCH_SCHEMA})
+    baselines = kb.setdefault("baseline", {})
+    mode = report["mode"]
+    if set_baseline or mode not in baselines:
+        baselines[mode] = report
+    kb["current"] = report
+    base_walls = {r["engine"]: r["wall_s"] for r in baselines[mode]["runs"]}
+    kb["speedup_vs_baseline"] = {
+        r["engine"]: base_walls[r["engine"]] / r["wall_s"]
+        for r in report["runs"]
+        if r["engine"] in base_walls and r["wall_s"] > 0
+    }
+    return data
+
+
+def validate_results(data: Dict[str, Any]) -> List[str]:
+    """Schema check for the ``kernel_bench`` section; returns problems."""
+    errors: List[str] = []
+    kb = data.get("kernel_bench")
+    if not isinstance(kb, dict):
+        return ["missing kernel_bench section"]
+    if kb.get("schema") != BENCH_SCHEMA:
+        errors.append(f"schema is {kb.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    for section in ("baseline", "current"):
+        if section not in kb:
+            errors.append(f"missing kernel_bench.{section}")
+    reports = [kb.get("current")] + list(kb.get("baseline", {}).values())
+    for report in reports:
+        if not isinstance(report, dict):
+            errors.append("report is not an object")
+            continue
+        if report.get("mode") not in BUDGETS:
+            errors.append(f"bad mode {report.get('mode')!r}")
+        runs = report.get("runs")
+        if not isinstance(runs, list) or not runs:
+            errors.append("report has no runs")
+            continue
+        for run in runs:
+            for field in ("engine", "wall_s", "sim_cycles", "cycles_per_sec"):
+                if field not in run:
+                    errors.append(f"run missing {field!r}")
+            if not isinstance(run.get("wall_s"), (int, float)):
+                errors.append("wall_s is not a number")
+    if "speedup_vs_baseline" in kb and not isinstance(
+        kb["speedup_vs_baseline"], dict
+    ):
+        errors.append("speedup_vs_baseline is not an object")
+    return errors
+
+
+def format_report(report: Dict[str, Any], speedups: Dict[str, float]) -> str:
+    lines = [
+        f"kernel bench ({report['mode']} budgets, python {report['python']})",
+        f"{'engine':<10} {'wall (s)':>10} {'cycles/s':>12} {'events/s':>12} "
+        f"{'Gbps':>8} {'speedup':>8}",
+    ]
+    for run in report["runs"]:
+        eps = run["events_per_sec"]
+        speed = speedups.get(run["engine"])
+        lines.append(
+            f"{run['engine']:<10} {run['wall_s']:>10.3f} "
+            f"{run['cycles_per_sec']:>12.0f} "
+            f"{(f'{eps:.0f}' if eps else '-'):>12} "
+            f"{run['gbps']:>8.3f} "
+            f"{(f'{speed:.2f}x' if speed else '-'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(
+    mode: str = "full",
+    engines: Optional[List[str]] = None,
+    repeats: int = 1,
+    out: Optional[Path] = None,
+    set_baseline: bool = False,
+    check_only: bool = False,
+) -> int:
+    """Entry point behind ``python -m repro bench``."""
+    path = Path(out) if out is not None else DEFAULT_RESULTS_PATH
+    if check_only:
+        data = load_results(path)
+        errors = validate_results(data)
+        if errors:
+            for err in errors:
+                print(f"schema error: {err}", file=sys.stderr)
+            return 1
+        speedups = data["kernel_bench"].get("speedup_vs_baseline", {})
+        print(f"{path} kernel_bench schema ok; speedups: "
+              + (", ".join(f"{k}={v:.2f}x" for k, v in speedups.items()) or "n/a"))
+        return 0
+    report = run_bench(mode=mode, engines=engines, repeats=repeats)
+    data = merge_results(load_results(path), report, set_baseline=set_baseline)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    print(format_report(report, data["kernel_bench"]["speedup_vs_baseline"]))
+    print(f"wrote {path}")
+    return 0

@@ -155,6 +155,19 @@ def _cmd_run(names, quick: bool) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro import bench
+
+    return bench.main(
+        mode="quick" if args.quick else "full",
+        engines=args.engines.split(",") if args.engines else None,
+        repeats=args.repeats,
+        out=args.out,
+        set_baseline=args.set_baseline,
+        check_only=args.check,
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.config import SimConfig
     from repro.engines import WorkloadSpec
@@ -195,6 +208,30 @@ def main(argv=None) -> int:
     run.add_argument("--quick", action="store_true", help="reduced budgets")
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--quick", action="store_true")
+    bench = sub.add_parser(
+        "bench", help="wall-clock benchmark of the simulation engines"
+    )
+    bench.add_argument("--quick", action="store_true", help="CI smoke budgets")
+    bench.add_argument(
+        "--engines",
+        default=None,
+        metavar="E1[,E2...]",
+        help="comma-separated engine subset (default: all three)",
+    )
+    bench.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
+    bench.add_argument(
+        "--out", default=None, help="results JSON (default benchmarks/BENCH_results.json)"
+    )
+    bench.add_argument(
+        "--set-baseline",
+        action="store_true",
+        help="re-pin the stored baseline to this run",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the results file schema and exit (no benchmarking)",
+    )
     sweep = sub.add_parser(
         "sweep", help="fan a config grid across multiprocessing workers"
     )
@@ -231,6 +268,8 @@ def main(argv=None) -> int:
         return _cmd_run(args.names, args.quick)
     if args.command == "all":
         return _cmd_run(list(REGISTRY), args.quick)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     return 2  # pragma: no cover

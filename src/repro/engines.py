@@ -268,6 +268,7 @@ class RouterEngine(_BaseEngine):
                 "line_drops": stats.line_drops,
                 "checksum_drops": stats.checksum_drops,
                 "ttl_drops": stats.ttl_drops,
+                "kernel_events": router.sim.events_processed,
             },
         )
 
@@ -316,7 +317,10 @@ class WordLevelEngine(_BaseEngine):
             config=self.config,
             workload=workload,
             trace=res.trace,
-            extra={"payload_errors": router.payload_errors},
+            extra={
+                "payload_errors": router.payload_errors,
+                "kernel_events": router.chip.sim.events_processed,
+            },
         )
 
 

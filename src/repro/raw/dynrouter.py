@@ -96,10 +96,10 @@ class WormholeNetwork:
             self._inject[tile] = sim.channel(f"{name}.inj{tile}", capacity=4)
             self._eject[tile] = sim.channel(f"{name}.ej{tile}", capacity=64)
             ej_mutex = sim.channel(f"{name}.ejmx{tile}", capacity=1)
-            ej_mutex._items.append((0, 1))
+            ej_mutex.seed(1)
             self._eject_mutex[tile] = ej_mutex
             inj_mutex = sim.channel(f"{name}.injmx{tile}", capacity=1)
-            inj_mutex._items.append((0, 1))
+            inj_mutex.seed(1)
             self._inject_mutex[tile] = inj_mutex
             for side in _SIDES:
                 other = neighbor(tile, side)
@@ -112,7 +112,7 @@ class WormholeNetwork:
             for side in _SIDES:
                 if neighbor(tile, side) is not None:
                     mutex = sim.channel(f"{name}.mx{tile}.{side.value}", capacity=1)
-                    mutex._items.append((0, 1))  # token available at t=0
+                    mutex.seed(1)  # token available at t=0
                     self._out_mutex[(tile, side)] = mutex
         # Forwarding processes: one per (tile, incoming side) + inject.
         for tile in range(NUM_TILES):

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Generator, Iterable, Optional, Tuple
 
 from repro.sim.channel import Channel
-from repro.sim.kernel import Get, Put, Timeout
+from repro.sim.kernel import Get, Put, RouteBurst, Timeout
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,16 @@ class RouteInstruction:
     def words_moved(self) -> int:
         return len(self.moves) * self.repeat
 
+    def burst(self) -> RouteBurst:
+        """The kernel burst command for all ``repeat`` cycles of this
+        instruction, built once and cached (instructions are immutable
+        and re-executed every crossbar rotation)."""
+        cmd = getattr(self, "_burst", None)
+        if cmd is None:
+            cmd = RouteBurst(self.moves, count=self.repeat)
+            object.__setattr__(self, "_burst", cmd)
+        return cmd
+
 
 class SwitchProcessor:
     """Interpreter for a stream of :class:`RouteInstruction`.
@@ -68,11 +78,16 @@ class SwitchProcessor:
     counter" step (section 6.5) is modeled.
     """
 
-    def __init__(self, tile: int, name: Optional[str] = None):
+    def __init__(self, tile: int, name: Optional[str] = None, use_bursts: bool = True):
         self.tile = tile
         self.name = name or f"switch@t{tile}"
         self.words_routed = 0
         self.instructions_executed = 0
+        #: When set, hand whole instructions to the kernel as
+        #: :class:`RouteBurst` commands instead of interpreting them one
+        #: Get/Put yield at a time.  Cycle-for-cycle identical (see
+        #: tests/test_burst_equivalence.py); keep the flag for A/B runs.
+        self.use_bursts = use_bursts
 
     def execute(self, program: Iterable[RouteInstruction]) -> Generator:
         """Kernel process running ``program`` to completion."""
@@ -80,12 +95,18 @@ class SwitchProcessor:
             yield from self.execute_one(instr)
 
     def execute_one(self, instr: RouteInstruction) -> Generator:
+        if not instr.moves:
+            self.instructions_executed += instr.repeat
+            yield Timeout(instr.repeat)
+            return
+        if self.use_bursts:
+            self.instructions_executed += instr.repeat
+            yield instr.burst()
+            self.words_routed += instr.words_moved
+            return
         sources = instr.sources()
         for _ in range(instr.repeat):
             self.instructions_executed += 1
-            if not instr.moves:
-                yield Timeout(1)
-                continue
             # Read each distinct source once (fanout reuses the word).
             values = {}
             for src in sources:

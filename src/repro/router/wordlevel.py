@@ -32,7 +32,16 @@ from repro.metrics.utilization import UtilizationSummary, summarize_trace
 from repro.raw.chip import RawChip
 from repro.raw.layout import CROSSBAR_RING, ROUTER_LAYOUT
 from repro.raw.switchproc import RouteInstruction, SwitchProcessor
-from repro.sim.kernel import BUSY, Get, IDLE, MEM_BLOCK, Put, Timeout
+from repro.sim.kernel import (
+    BUSY,
+    Get,
+    GetBurst,
+    IDLE,
+    MEM_BLOCK,
+    Put,
+    PutBurst,
+    Timeout,
+)
 from repro.sim.trace import Trace
 
 #: Tile-processor cycles each Crossbar Processor spends computing the
@@ -104,8 +113,13 @@ class WordLevelRouter:
         trace: Optional[Trace] = None,
         verify_payloads: bool = False,
         costs: CostModel = CostModel.default(),
+        use_bursts: bool = True,
     ):
         self.costs = costs
+        # Burst channel ops are cycle-for-cycle identical to the word
+        # loops (tests/test_burst_equivalence.py); the flag exists for
+        # A/B validation and as an escape hatch.
+        self.use_bursts = use_bursts
         self.chip = RawChip(trace=trace, num_static_networks=1, costs=costs)
         self.trace = trace
         self.source = source
@@ -116,6 +130,10 @@ class WordLevelRouter:
         self.delivered_words = 0
         self.per_port_packets = [0, 0, 0, 0]
         self.payload_errors = 0
+        # Compiled body programs keyed by segment signature: traffic
+        # repeats allocations (permutation traffic literally reuses one
+        # forever), so each distinct program is compiled once per run.
+        self._program_cache: Dict[tuple, List[RouteInstruction]] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -217,9 +235,12 @@ class WordLevelRouter:
                 # (``lw $csto, 0(r)``): one instruction per word, so the
                 # streaming shows up as busy cycles in the Fig 7-3 trace;
                 # back-pressure appears as transmit-blocked.
-                for w in body:
-                    yield Put(self.in_link[port], w)
-                    yield Timeout(1, BUSY)
+                if self.use_bursts:
+                    yield PutBurst(self.in_link[port], body, gap=1, state=BUSY)
+                else:
+                    for w in body:
+                        yield Put(self.in_link[port], w)
+                        yield Timeout(1, BUSY)
                 pending = None
 
     def _lookup(self, port: int) -> Generator:
@@ -274,7 +295,7 @@ class WordLevelRouter:
     def _crossbar_switch(self, ring_index: int) -> Generator:
         """Switch Processor: fixed header program + per-quantum body."""
         i = ring_index
-        sp = SwitchProcessor(CROSSBAR_RING[i])
+        sp = SwitchProcessor(CROSSBAR_RING[i], use_bursts=self.use_bursts)
         header_in = RouteInstruction(
             moves=((self.in_link[i], self.sw2proc[i]),), repeat=2, label="hdr-in"
         )
@@ -338,6 +359,15 @@ class WordLevelRouter:
             segments.append((pos, length, src_ch, dst_ch))
         if not segments:
             return []
+        # The program is a pure function of the segment list (channel
+        # identities included); reuse the compiled form when this
+        # allocation shape has been seen before.
+        key = tuple(
+            (pos, length, id(src), id(dst)) for pos, length, src, dst in segments
+        )
+        cached = self._program_cache.get(key)
+        if cached is not None:
+            return cached
         duration = max(pos + length for pos, length, _, _ in segments)
         program: List[RouteInstruction] = []
         current_moves: Optional[Tuple] = None
@@ -361,14 +391,19 @@ class WordLevelRouter:
             program.append(
                 RouteInstruction(moves=current_moves, repeat=run, label="body")
             )
+        self._program_cache[key] = program
         return program
 
     def _egress_switch(self, port: int) -> Generator:
         """Egress switch: permanent cut-through route to the line out."""
-        sp = SwitchProcessor(ROUTER_LAYOUT[port].egress)
+        sp = SwitchProcessor(ROUTER_LAYOUT[port].egress, use_bursts=self.use_bursts)
+        # The relay runs forever, so how many repetitions one instruction
+        # carries is unobservable (the word stream is identical for any
+        # subdivision); a whole-quantum repeat lets the burst path hand
+        # the kernel one command per quantum of words instead of per word.
         forward = RouteInstruction(
             moves=((self.out_link[port], self.line_out[port]),),
-            repeat=1,
+            repeat=self.costs.max_quantum_words,
             label="egress-fwd",
         )
         while True:
@@ -392,10 +427,13 @@ class WordLevelRouter:
                 raise RuntimeError(
                     f"egress {port}: expected fragment meta, got {meta!r}"
                 )
-            received = []
-            for _ in range(meta.nwords - 1):
-                w = yield Get(self.line_out[port])
-                received.append(w)
+            if self.use_bursts:
+                received = yield GetBurst(self.line_out[port], meta.nwords - 1)
+            else:
+                received = []
+                for _ in range(meta.nwords - 1):
+                    w = yield Get(self.line_out[port])
+                    received.append(w)
             if self.verify_payloads:
                 expected = meta.packet.to_words()[1:]
                 if received != expected:

@@ -21,6 +21,9 @@ from repro.sim.kernel import (
     Timeout,
     Put,
     Get,
+    PutBurst,
+    GetBurst,
+    RouteBurst,
     BUSY,
     IDLE,
     TX_BLOCK,
@@ -36,6 +39,9 @@ __all__ = [
     "Timeout",
     "Put",
     "Get",
+    "PutBurst",
+    "GetBurst",
+    "RouteBurst",
     "Channel",
     "Trace",
     "Interval",

@@ -24,7 +24,16 @@ class Channel:
     words resident in the link stage (in flight plus ready).
     """
 
-    __slots__ = ("name", "capacity", "latency", "_items", "_putters", "_getters")
+    __slots__ = (
+        "name",
+        "capacity",
+        "latency",
+        "_items",
+        "_putters",
+        "_getters",
+        "_service_at",
+        "_registered",
+    )
 
     def __init__(self, name: str = "", capacity: int = 1, latency: int = 0):
         if capacity < 1:
@@ -36,8 +45,14 @@ class Channel:
         self.latency = latency
         # Each item is (ready_time, value).
         self._items: Deque[Tuple[int, Any]] = deque()
-        self._putters: Deque[Any] = deque()  # processes blocked on Put
-        self._getters: Deque[Any] = deque()  # processes blocked on Get
+        self._putters: Deque[Any] = deque()  # waiters blocked on Put
+        self._getters: Deque[Any] = deque()  # waiters blocked on Get
+        # Cycle of the earliest pending kernel "service" event for this
+        # channel, or -1; lets the kernel skip scheduling duplicates.
+        self._service_at: int = -1
+        # True once the kernel has listed this channel in its registry of
+        # channels that ever parked a waiter (used for deadlock reports).
+        self._registered: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -58,3 +73,37 @@ class Channel:
     def peek_ready(self, now: int) -> bool:
         """True when a word is available to a getter at cycle ``now``."""
         return bool(self._items) and self._items[0][0] <= now
+
+    # -- the fast-path word operations --------------------------------
+    # One implementation shared by the kernel's blocking commands, the
+    # burst state machines, and the Simulator's non-blocking helpers
+    # (peek / try_get / try_put).
+    def peek_value(self, now: int) -> Tuple[bool, Any]:
+        """(True, head word) if one is ready at ``now``, without
+        consuming it; (False, None) otherwise."""
+        items = self._items
+        if items and items[0][0] <= now:
+            return True, items[0][1]
+        return False, None
+
+    def pop_ready(self, now: int) -> Tuple[bool, Any]:
+        """Consume and return the head word if ready: (True, value);
+        (False, None) when empty or still in flight."""
+        items = self._items
+        if items and items[0][0] <= now:
+            return True, items.popleft()[1]
+        return False, None
+
+    def push(self, value: Any, now: int) -> bool:
+        """Deposit ``value`` (visible ``latency`` cycles later) if a slot
+        is free; False when the channel is full."""
+        items = self._items
+        if len(items) >= self.capacity:
+            return False
+        items.append((now + self.latency, value))
+        return True
+
+    def seed(self, value: Any, ready_at: int = 0) -> None:
+        """Pre-load a word before the simulation starts (e.g. a mutex
+        token); bypasses capacity checks and waiter bookkeeping."""
+        self._items.append((ready_at, value))

@@ -53,7 +53,16 @@ class Trace:
                 return
             start = max(start, self.start)
             end = min(end, self.stop)
-        self._by_key[key].append(Interval(key, state, start, end))
+        intervals = self._by_key[key]
+        if intervals:
+            # Coalesce with a contiguous same-state predecessor, so a
+            # per-word loop (many length-1 busy spans) and the equivalent
+            # burst (one span) leave identical traces.
+            last = intervals[-1]
+            if last.state == state and last.end == start:
+                intervals[-1] = Interval(key, state, last.start, end)
+                return
+        intervals.append(Interval(key, state, start, end))
 
     def keys(self) -> List[str]:
         return sorted(self._by_key)

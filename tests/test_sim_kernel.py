@@ -510,3 +510,87 @@ class TestBlockedReport:
         with pytest.raises(DeadlockError):
             sim.run()
         assert len(sim.blocked_report()) == 1
+
+
+class TestRunUntilContract:
+    """The documented ``run(until=...)`` contract (see the kernel's
+    :meth:`Simulator.run` docstring): the clock stops at ``until`` only
+    when events remain beyond it; a drained queue leaves the clock at
+    the last executed event; the clock never moves backwards."""
+
+    def test_drained_early_clock_stays_at_last_event(self):
+        def proc():
+            yield Timeout(5)
+
+        sim = Simulator()
+        sim.add_process(proc())
+        assert sim.run(until=100) == 5
+        assert sim.now == 5  # NOT advanced to 100: nothing happened after 5
+
+    def test_cutoff_clock_stops_exactly_at_until(self):
+        def proc():
+            while True:
+                yield Timeout(7)
+
+        sim = Simulator()
+        sim.add_process(proc())
+        assert sim.run(until=10) == 10
+        assert sim.now == 10
+
+    def test_event_exactly_at_until_executes(self):
+        seen = []
+
+        def proc():
+            yield Timeout(10)
+            seen.append(True)
+            yield Timeout(10)
+            seen.append(True)
+
+        sim = Simulator()
+        sim.add_process(proc())
+        sim.run(until=10)
+        assert seen == [True]
+
+    def test_until_at_or_before_now_is_noop(self):
+        def proc():
+            while True:
+                yield Timeout(5)
+
+        sim = Simulator()
+        sim.add_process(proc())
+        sim.run(until=20)
+        assert sim.now == 20
+        assert sim.run(until=20) == 20  # at now: no-op
+        assert sim.run(until=3) == 20  # before now: clock never reverses
+        assert sim.now == 20
+
+    def test_drained_early_with_blocked_does_not_raise(self):
+        """Bounded runs report stuck processes instead of raising --
+        the pipeline may simply have outlived its sources."""
+
+        def stuck(ch):
+            yield Timeout(4)
+            yield Get(ch)
+
+        sim = Simulator()
+        ch = sim.channel("line", capacity=1)
+        sim.add_process(stuck(ch), name="sink")
+        assert sim.run(until=1000) == 4  # drained at the Get, no error
+        assert sim.blocked_report() == [
+            {"name": "sink", "state": RX_BLOCK, "channel": "line", "since": 4}
+        ]
+
+    def test_resumable_across_many_bounded_runs(self):
+        ticks = []
+
+        def proc():
+            while True:
+                yield Timeout(10)
+                ticks.append(True)
+
+        sim = Simulator()
+        sim.add_process(proc())
+        for horizon in (5, 15, 25, 100):
+            sim.run(until=horizon)
+            assert sim.now == horizon
+        assert len(ticks) == 10
