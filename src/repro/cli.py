@@ -30,6 +30,7 @@ from repro.experiments import (
     lookup_ext,
     multicast_ext,
     multichip,
+    resilience,
     scaling,
     table6_1,
 )
@@ -131,6 +132,11 @@ REGISTRY: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda: compute_ext.run(quanta=2000),
         lambda: compute_ext.run(quanta=600),
     ),
+    "resilience": (
+        "Fault injection: MTTR, degraded goodput, drop taxonomy",
+        resilience.run,
+        resilience.run_quick,
+    ),
 }
 
 
@@ -168,6 +174,21 @@ def _cmd_bench(args) -> int:
     )
 
 
+def _cmd_chaos(args) -> int:
+    from repro.experiments import resilience
+
+    runner = resilience.run_quick if args.quick else resilience.run
+    result = runner(seed=args.seed, out=args.out, plan=args.plan)
+    print(result.to_text())
+    print(f"wrote {args.out}")
+    if args.check:
+        failed = [c for c in result.checks if not c["passed"]]
+        for c in failed:
+            print(f"CHECK FAILED: {c['name']}: {c['detail']}", file=sys.stderr)
+        return 1 if failed else 0
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.config import SimConfig
     from repro.engines import WorkloadSpec
@@ -178,6 +199,7 @@ def _cmd_sweep(args) -> int:
         pattern=args.pattern,
         packet_bytes=args.bytes,
         quanta=args.quanta,
+        fault_plan=args.fault_plan,
     )
     try:
         table = run_sweep(
@@ -260,6 +282,34 @@ def main(argv=None) -> int:
     )
     sweep.add_argument("--bytes", type=int, default=1024, help="packet size")
     sweep.add_argument("--quanta", type=int, default=2000, help="routing quanta budget")
+    sweep.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN.json",
+        help="arm this fault plan in every cell (cells can still sweep "
+        "`faults=planA.json,planB.json` as a grid axis)",
+    )
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection scenarios: MTTR / goodput / drops"
+    )
+    chaos.add_argument("--quick", action="store_true", help="CI smoke budgets")
+    chaos.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if any resilience invariant fails",
+    )
+    chaos.add_argument(
+        "--out",
+        default="benchmarks/RESILIENCE_results.json",
+        help="results JSON (schema repro-resilience/1)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN.json",
+        help="also run this fault-plan file as an extra scenario",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -270,6 +320,8 @@ def main(argv=None) -> int:
         return _cmd_run(list(REGISTRY), args.quick)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     return 2  # pragma: no cover

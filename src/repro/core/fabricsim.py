@@ -33,6 +33,123 @@ class _HolFragment:
     words: int
     is_last: bool
     packet_words: int  #: total words of the parent packet
+    corrupt: bool = False  #: fault-injected; dropped by egress verification
+
+
+class _FabricFaultState:
+    """Quantum-granular realization of a fault plan for the fabric loop.
+
+    The fabric engine has no words or channels, so faults are quantized
+    to quantum boundaries: an event applies at the first boundary whose
+    clock reaches its cycle, and a window covers the quanta starting
+    inside ``[cycle, end)``.  Kind mapping at this fidelity: ``stall``
+    and ``link_down`` silence the port's requests, ``overload``
+    suppresses grants toward the port, ``corrupt`` poisons the port's
+    queued packet (dropped at delivery, modeling egress verification),
+    ``port_down`` + ``token_loss`` use the shared recovery machinery.
+    """
+
+    def __init__(self, plan, n: int, metrics):
+        from repro.faults.recovery import DegradedRouting, TokenRecovery
+
+        self.plan = plan
+        self.metrics = metrics
+        self.degraded = DegradedRouting(n, metrics)
+        self.recovery = TokenRecovery(n, metrics)
+        self._events = list(plan.events)  # cycle-sorted by construction
+        self._next = 0
+        self._windows = []  # (end_clock, kind, port, target)
+        self._recovery_left = 0
+        for ev in self._events:
+            if ev.kind == "token_loss":
+                continue
+            if ev.target.startswith("link:"):
+                raise ValueError(
+                    "the fabric engine has no word-level links; "
+                    f"cannot realize target {ev.target!r}"
+                )
+            if ev.port is None or not 0 <= ev.port < n:
+                raise ValueError(
+                    f"{ev.kind} fault needs a port-scoped target, got {ev.target!r}"
+                )
+
+    # -- per-boundary bookkeeping --------------------------------------
+    def advance_to(self, clock: int, queues) -> None:
+        """Apply every event due by ``clock`` and expire old windows."""
+        kept = []
+        for end, kind, port, target in self._windows:
+            if clock >= end:
+                self.metrics.close_open(kind, target, clock)
+            else:
+                kept.append((end, kind, port, target))
+        self._windows = kept
+
+        while self._next < len(self._events) and self._events[self._next].cycle <= clock:
+            ev = self._events[self._next]
+            self._next += 1
+            if ev.kind == "token_loss":
+                self.metrics.record_fault(clock, ev.kind, ev.target)
+                self.recovery.lose(ev.cycle)
+                self._recovery_left = self.recovery.recovery_quanta()
+            elif ev.kind == "port_down":
+                self.metrics.record_fault(clock, ev.kind, ev.target)
+                if self.degraded.kill(ev.port):
+                    for q in queues:
+                        stale = [f for f in q if f.dest == ev.port]
+                        if stale:
+                            for _ in stale:
+                                self.metrics.record_drop("dead_port")
+                            q_live = [f for f in q if f.dest != ev.port]
+                            q.clear()
+                            q.extend(q_live)
+                    drained = queues[ev.port]
+                    self.metrics.record_drop("dead_port", len(drained))
+                    drained.clear()
+                    # Reconvergence is immediate at this fidelity: the
+                    # next refill already remaps around the dead port.
+                    self.degraded.converged(ev.port, clock)
+            elif ev.kind == "corrupt":
+                q = queues[ev.port]
+                for frag in q:
+                    frag.corrupt = True
+                rec = self.metrics.record_fault(
+                    clock, ev.kind, ev.target, applied=bool(q)
+                )
+                rec.recovered_at = clock
+            else:  # windowed: link_down / stall / overload
+                self.metrics.record_fault(clock, ev.kind, ev.target)
+                self._windows.append((ev.end, ev.kind, ev.port, ev.target))
+
+    # -- queries the quantum loop asks ---------------------------------
+    def in_recovery(self) -> bool:
+        return self.recovery.lost
+
+    def recovery_quantum_done(self, token, clock: int) -> None:
+        """One idle recovery quantum elapsed; regenerate when done."""
+        self._recovery_left -= 1
+        if self._recovery_left <= 0:
+            self.recovery.recover(token, clock)
+
+    def port_silenced(self, port: int) -> bool:
+        """Dead, stalled, or its input link is down."""
+        if not self.degraded.alive(port):
+            return True
+        return any(
+            kind in ("stall", "link_down") and p == port
+            for _end, kind, p, _t in self._windows
+        )
+
+    def dest_suppressed(self, dest: int) -> bool:
+        """Grants toward an overloaded output are withheld this quantum."""
+        return any(
+            kind == "overload" and p == dest for _end, kind, p, _t in self._windows
+        )
+
+    def map_dest(self, dest: int):
+        """Degraded-mode rerouting at the source (None: nowhere to go)."""
+        if not self.degraded.any_dead:
+            return dest
+        return self.degraded.remap(dest)
 
 
 @dataclass
@@ -133,8 +250,25 @@ class FabricSimulator:
         self._queues: List[Deque[_HolFragment]] = [
             deque() for _ in range(self.ring.n)
         ]
+        #: Global clock in cycles, accumulated by every quantum (warmup
+        #: included) -- the timeline fault plans are scheduled against.
+        self.clock = 0
+        self.faults: Optional[_FabricFaultState] = None
 
     # ------------------------------------------------------------------
+    def install_faults(self, plan, metrics=None) -> Optional[_FabricFaultState]:
+        """Arm a fault plan (None / empty plan: stay fault-free)."""
+        from repro.faults.plan import resolve_plan
+        from repro.metrics.resilience import ResilienceMetrics
+
+        plan = resolve_plan(plan)
+        if plan is None:
+            return None
+        if metrics is None:
+            metrics = ResilienceMetrics()
+        self.faults = _FabricFaultState(plan, self.ring.n, metrics)
+        return self.faults
+
     def _refill(self, port: int, source: PortSource) -> None:
         if self._queues[port]:
             return
@@ -144,6 +278,12 @@ class FabricSimulator:
         dest, words = pkt
         if words < 1:
             raise ValueError("packet must have at least one word")
+        if self.faults is not None:
+            self.faults.metrics.offered_words += words
+            dest = self.faults.map_dest(dest)
+            if dest is None:  # every port is dead
+                self.faults.metrics.record_drop("dead_port")
+                return
         remaining = words
         while remaining > 0:
             q = min(remaining, self.max_quantum_words)
@@ -184,16 +324,49 @@ class FabricSimulator:
 
     def _step(self, source: PortSource, stats: Optional[FabricStats]) -> None:
         n = self.ring.n
-        for port in range(n):
-            self._refill(port, source)
-        requests = tuple(
-            self._queues[p][0].dest if self._queues[p] else None for p in range(n)
-        )
+        faults = self.faults
+        if faults is not None:
+            # Refill before applying events: at saturation every queue is
+            # re-armed at each boundary, so a corruption event aimed at a
+            # busy input actually finds a word to hit.
+            for port in range(n):
+                if faults.degraded.alive(port):
+                    self._refill(port, source)
+            faults.advance_to(self.clock, self._queues)
+            if faults.in_recovery():
+                # Token lost: one idle quantum of the regeneration
+                # protocol (no grants, no rotation -- there is no token).
+                idle = idle_quantum_cycles(self.timing)
+                if stats:
+                    stats.quanta += 1
+                    stats.idle_quanta += 1
+                    stats.cycles += idle
+                self.clock += idle
+                faults.recovery_quantum_done(self.token, self.clock)
+                return
+            requests = tuple(
+                self._queues[p][0].dest
+                if (
+                    self._queues[p]
+                    and not faults.port_silenced(p)
+                    and not faults.dest_suppressed(self._queues[p][0].dest)
+                )
+                else None
+                for p in range(n)
+            )
+        else:
+            for port in range(n):
+                self._refill(port, source)
+            requests = tuple(
+                self._queues[p][0].dest if self._queues[p] else None for p in range(n)
+            )
         if all(r is None for r in requests):
+            idle = idle_quantum_cycles(self.timing)
             if stats:
                 stats.quanta += 1
                 stats.idle_quanta += 1
-                stats.cycles += idle_quantum_cycles(self.timing)
+                stats.cycles += idle
+            self.clock += idle
             self.token.advance()
             return
         alloc = self.allocator.allocate(requests, self.token.master)
@@ -211,8 +384,16 @@ class FabricSimulator:
             stats.cycles += duration
             stats.blocked_events += len(alloc.blocked)
             stats.grant_histogram[alloc.num_granted] += 1
+        self.clock += duration
         for grant in alloc.grants.values():
             frag = self._queues[grant.src].popleft()
+            if faults is not None and frag.corrupt:
+                # Egress verification catches the broken checksum; the
+                # words crossed the fabric but never reach the line.
+                faults.metrics.record_drop("corrupt")
+                continue
+            if faults is not None:
+                faults.metrics.delivered_words += frag.words
             if stats:
                 stats.delivered_words += frag.words
                 stats.per_port_words[grant.src] += frag.words

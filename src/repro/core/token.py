@@ -39,6 +39,13 @@ class RotatingToken:
         self.rotations += 1
         return self._master
 
+    def reset(self, start: int = 0) -> None:
+        """Re-issue the token at ``start`` (the token-loss recovery:
+        after regeneration every counter restarts in lockstep)."""
+        if not 0 <= start < self.n:
+            raise ValueError("start port out of range")
+        self._master = start
+
     def priority_order(self) -> List[int]:
         """Ports in decreasing priority for the current quantum."""
         return [(self._master + k) % self.n for k in range(self.n)]
@@ -68,6 +75,10 @@ class WeightedToken(RotatingToken):
             self._remaining = self.weights[self._master]
             self.rotations += 1
         return self._master
+
+    def reset(self, start: int = 0) -> None:
+        super().reset(start)
+        self._remaining = self.weights[start]
 
     def max_wait_quanta(self) -> int:
         """Worst-case quanta before a port regains mastership."""

@@ -59,6 +59,11 @@ class WorkloadSpec:
     packets: Optional[int] = None
     cycles: int = 120_000
     warmup_cycles: int = 20_000
+    #: Optional :mod:`repro.faults` chaos schedule: a
+    #: :class:`~repro.faults.plan.FaultPlan`, its dict form, or a JSON
+    #: path.  None / an empty plan keeps every engine on its fault-free
+    #: fast path (bit-for-bit identical to the field not existing).
+    fault_plan: Any = None
 
     def __post_init__(self):
         if self.pattern not in PATTERNS:
@@ -72,7 +77,12 @@ class WorkloadSpec:
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        d = dataclasses.asdict(self)
+        if hasattr(self.fault_plan, "to_dict"):
+            # Canonical schema-tagged form, so workload dicts round-trip
+            # through resolve_plan().
+            d["fault_plan"] = self.fault_plan.to_dict()
+        return d
 
 
 @dataclass
@@ -185,6 +195,7 @@ class FabricEngine(_BaseEngine):
             pipelined=self.config.pipelined,
             costs=costs,
         )
+        faults = sim.install_faults(workload.fault_plan)
         warmup = (
             workload.warmup_quanta
             if workload.warmup_quanta is not None
@@ -195,6 +206,14 @@ class FabricEngine(_BaseEngine):
             quanta=workload.quanta,
             warmup_quanta=warmup,
         )
+        extra = {
+            "quanta": stats.quanta,
+            "idle_quanta": stats.idle_quanta,
+            "blocked_events": stats.blocked_events,
+            "mean_grants_per_quantum": stats.mean_grants_per_quantum,
+        }
+        if faults is not None:
+            extra["resilience"] = faults.metrics.to_dict()
         return RunResult(
             fidelity=self.fidelity,
             cycles=stats.cycles,
@@ -206,12 +225,7 @@ class FabricEngine(_BaseEngine):
             latency={},  # the fabric loop does not track per-packet latency
             config=self.config,
             workload=workload,
-            extra={
-                "quanta": stats.quanta,
-                "idle_quanta": stats.idle_quanta,
-                "blocked_events": stats.blocked_events,
-                "mean_grants_per_quantum": stats.mean_grants_per_quantum,
-            },
+            extra=extra,
         )
 
 
@@ -235,6 +249,7 @@ class RouterEngine(_BaseEngine):
         n = self.config.ports
         rng = self._rng()
         router = RawRouter.from_config(self.config, warmup_cycles=self.warmup_cycles)
+        router.install_faults(workload.fault_plan)
         if workload.pattern == "permutation":
             pattern = FixedPermutation.shift(n, workload.shift)
         elif workload.pattern == "uniform":
@@ -251,6 +266,17 @@ class RouterEngine(_BaseEngine):
         result = router.run(target_packets=target)
         stats = router.stats
         bits = sum(stats.per_port_bits)
+        extra = {
+            "quanta": stats.quanta,
+            "idle_quanta": stats.idle_quanta,
+            "line_drops": stats.line_drops,
+            "checksum_drops": stats.checksum_drops,
+            "ttl_drops": stats.ttl_drops,
+            "kernel_events": router.sim.events_processed,
+        }
+        if router.faults_on:
+            extra["drops"] = stats.drop_taxonomy()
+            extra["resilience"] = router.resilience.to_dict()
         return RunResult(
             fidelity=self.fidelity,
             cycles=result.cycles,
@@ -262,14 +288,7 @@ class RouterEngine(_BaseEngine):
             latency=stats.latency.summary(clock_hz=router.costs.clock_hz),
             config=self.config,
             workload=workload,
-            extra={
-                "quanta": stats.quanta,
-                "idle_quanta": stats.idle_quanta,
-                "line_drops": stats.line_drops,
-                "checksum_drops": stats.checksum_drops,
-                "ttl_drops": stats.ttl_drops,
-                "kernel_events": router.sim.events_processed,
-            },
+            extra=extra,
         )
 
 
@@ -301,10 +320,17 @@ class WordLevelEngine(_BaseEngine):
             )
         else:
             raise ValueError("word-level engine supports permutation/uniform only")
-        router = WordLevelRouter(source, costs=costs)
+        router = WordLevelRouter(source, costs=costs, faults=workload.fault_plan)
         res = router.run(
             until_cycles=workload.cycles, warmup_cycles=workload.warmup_cycles
         )
+        extra = {
+            "payload_errors": router.payload_errors,
+            "kernel_events": router.chip.sim.events_processed,
+        }
+        if router.resilience is not None:
+            extra["corrupt_drops"] = router.corrupt_drops
+            extra["resilience"] = router.resilience.to_dict()
         return RunResult(
             fidelity=self.fidelity,
             cycles=res.cycles,
@@ -317,10 +343,7 @@ class WordLevelEngine(_BaseEngine):
             config=self.config,
             workload=workload,
             trace=res.trace,
-            extra={
-                "payload_errors": router.payload_errors,
-                "kernel_events": router.chip.sim.events_processed,
-            },
+            extra=extra,
         )
 
 

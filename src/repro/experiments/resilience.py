@@ -1,0 +1,320 @@
+"""Resilience under injected faults: recovery time and degraded goodput.
+
+The chaos counterpart of the throughput experiments: each scenario arms
+one :class:`~repro.faults.plan.FaultPlan` against an engine run and
+reports the resilience metrics of :mod:`repro.metrics.resilience` --
+mean time to recover (MTTR, in cycles), delivered-vs-offered goodput,
+and the drop taxonomy.  The scenarios map one-to-one to the failure
+modes the fault model defines:
+
+* ``baseline`` / ``empty_plan`` -- the fault-free reference, and the
+  guarantee that an *empty* plan is bit-identical to no plan at all;
+* ``dead_port`` -- one of four ports dies mid-run; degraded-mode
+  routing masks it and the surviving ports' goodput is compared against
+  a genuine 3-port fault-free run (the proportional-degradation claim);
+* ``token_loss`` -- the rotating token vanishes; the fabric detects it
+  by timeout and regenerates it at port 0 in a bounded number of idle
+  quanta;
+* ``link_flap`` -- an input link drops twice briefly; held words resume
+  and both windows close;
+* ``corrupt`` -- single-word corruption, caught downstream by the IP
+  header checksum and counted as a drop, never delivered;
+* ``overload`` -- an egress line card is overrun; upstream queues hold
+  and drain after the window;
+* ``phase_mixed`` -- a combined plan on the phase-level router engine,
+  exercising the same machinery through the full ingress/lookup/egress
+  pipeline.
+
+``run()`` also evaluates the acceptance invariants (the ``checks`` list
+in the JSON table): empty-plan identity, dead-port goodput within 5% of
+the 3-port reference, bounded token MTTR, and no unrecovered faults.
+``python -m repro chaos --check`` turns any failed check into a nonzero
+exit, which is what the CI smoke job gates on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.config import SimConfig
+from repro.engines import FabricEngine, RouterEngine, RunResult, WorkloadSpec
+from repro.experiments.common import ExperimentResult
+from repro.faults.plan import FaultEvent, FaultPlan, resolve_plan
+
+RESULTS_SCHEMA = "repro-resilience/1"
+DEFAULT_OUT = "benchmarks/RESILIENCE_results.json"
+
+#: Generous bound on token-regeneration time: detection happens at the
+#: next quantum boundary (one full body quantum at most) and repair
+#: burns ``ports + 1`` idle control quanta, so anything in this
+#: neighbourhood is "bounded"; a runaway would be orders larger.
+TOKEN_MTTR_BOUND_CYCLES = 5_000
+
+
+def _fabric_run(
+    workload: WorkloadSpec, seed: int, ports: int = 4
+) -> RunResult:
+    return FabricEngine(SimConfig(seed=seed, ports=ports)).run(workload)
+
+
+def _scenario_row(name: str, res: RunResult) -> Dict[str, Any]:
+    resil = res.extra.get("resilience", {})
+    return {
+        "name": name,
+        "fidelity": res.fidelity,
+        "gbps": res.gbps,
+        "cycles": res.cycles,
+        "delivered_packets": res.delivered_packets,
+        "per_port_packets": list(res.per_port_packets),
+        "faults_injected": resil.get("faults_injected", 0),
+        "faults_missed": resil.get("faults_missed", 0),
+        "mttr_cycles": resil.get("mttr_cycles"),
+        "max_recovery_cycles": resil.get("max_recovery_cycles"),
+        "unrecovered": resil.get("unrecovered", 0),
+        "goodput_ratio": resil.get("goodput_ratio"),
+        "drops": resil.get("drops", {}),
+    }
+
+
+def run(
+    quanta: int = 4000,
+    packets: int = 2400,
+    seed: int = 0,
+    out: Optional[str] = DEFAULT_OUT,
+    plan: Optional[str] = None,
+) -> ExperimentResult:
+    """The resilience table: one row per chaos scenario.
+
+    ``plan`` optionally names a fault-plan JSON file to run as an extra
+    user scenario at fabric fidelity.  Writes the machine-readable table
+    to ``out`` (schema ``repro-resilience/1``) unless ``out`` is None.
+    """
+    result = ExperimentResult(
+        name="resilience",
+        description="Chaos scenarios: MTTR (cycles), goodput, drop taxonomy",
+    )
+    base = WorkloadSpec(pattern="uniform", packet_bytes=1024, quanta=quanta)
+    costs = SimConfig().cost_model()
+    words = costs.bytes_to_words(1024)
+    # Rough per-quantum cycle cost (body + control) used only to place
+    # fault cycles sensibly inside the run; nothing here needs to be
+    # exact because every window is measured, not predicted.
+    est_q = words + 100
+    warmup = max(50, quanta // 20)
+    horizon = quanta * est_q
+    scenarios: List[Dict[str, Any]] = []
+
+    # -- baseline + empty-plan identity ---------------------------------
+    baseline = _fabric_run(base, seed)
+    empty = _fabric_run(base.replace(fault_plan=FaultPlan.empty()), seed)
+    result.add("baseline_gbps", baseline.gbps)
+    scenarios.append(_scenario_row("baseline", baseline))
+    empty_identical = (
+        baseline.gbps == empty.gbps
+        and baseline.cycles == empty.cycles
+        and baseline.delivered_packets == empty.delivered_packets
+    )
+
+    # -- dead port vs a true 3-port reference ---------------------------
+    # Permutation traffic with shift=1: killing port 3 turns the 4-flow
+    # permutation into a clean 3-flow one (input 2's remapped 3->0 flow
+    # replaces exactly the flow the dead input 3 stopped sending), so
+    # the surviving ports' goodput is directly comparable to a genuine
+    # 3-port fault-free run -- the proportional-degradation claim.
+    # Uniform traffic would instead concentrate remapped load on one
+    # neighbour (a hotspot, a different experiment).
+    kill_cycle = (warmup + 10) * est_q  # just after the measured window opens
+    perm = base.replace(pattern="permutation", shift=1)
+    dead = _fabric_run(
+        perm.replace(
+            fault_plan=FaultPlan(
+                events=(FaultEvent(cycle=kill_cycle, kind="port_down", target="port:3"),),
+                name="dead-port",
+            )
+        ),
+        seed,
+    )
+    ref3 = _fabric_run(perm, seed, ports=3)
+    dead_ratio = dead.gbps / ref3.gbps if ref3.gbps else 0.0
+    result.add("dead_port_gbps", dead.gbps, extra_note="vs 3-port ref")
+    result.add("dead_port_vs_3port_ref", dead_ratio, 1.0)
+    row = _scenario_row("dead_port", dead)
+    row["ref_3port_gbps"] = ref3.gbps
+    row["vs_3port_ref"] = dead_ratio
+    scenarios.append(row)
+
+    # -- token loss ------------------------------------------------------
+    token = _fabric_run(
+        base.replace(
+            fault_plan=FaultPlan(
+                events=(FaultEvent(cycle=horizon // 3, kind="token_loss"),),
+                name="token-loss",
+            )
+        ),
+        seed,
+    )
+    token_mttr = token.extra["resilience"]["mttr_cycles"]
+    result.add("token_loss_mttr_cycles", token_mttr)
+    scenarios.append(_scenario_row("token_loss", token))
+
+    # -- flapping input link --------------------------------------------
+    flap_at = horizon // 4
+    flap = _fabric_run(
+        base.replace(
+            fault_plan=FaultPlan(
+                events=(
+                    FaultEvent(cycle=flap_at, kind="link_down", target="input:1",
+                               duration=8 * est_q),
+                    FaultEvent(cycle=flap_at + 20 * est_q, kind="link_down",
+                               target="input:1", duration=8 * est_q),
+                ),
+                name="link-flap",
+            )
+        ),
+        seed,
+    )
+    result.add(
+        "link_flap_goodput", flap.extra["resilience"]["goodput_ratio"]
+    )
+    scenarios.append(_scenario_row("link_flap", flap))
+
+    # -- single-word corruption -----------------------------------------
+    corrupt = _fabric_run(
+        base.replace(
+            fault_plan=FaultPlan(
+                events=tuple(
+                    FaultEvent(cycle=horizon // 3 + i * 10 * est_q,
+                               kind="corrupt", target=f"input:{i}", param=5 + i)
+                    for i in range(3)
+                ),
+                name="corrupt",
+            )
+        ),
+        seed,
+    )
+    result.add(
+        "corrupt_drops", corrupt.extra["resilience"]["drops"].get("corrupt", 0), 3
+    )
+    scenarios.append(_scenario_row("corrupt", corrupt))
+
+    # -- egress overload -------------------------------------------------
+    overload = _fabric_run(
+        base.replace(
+            fault_plan=FaultPlan(
+                events=(FaultEvent(cycle=horizon // 2, kind="overload",
+                                   target="port:2", duration=15 * est_q),),
+                name="overload",
+            )
+        ),
+        seed,
+    )
+    result.add(
+        "overload_goodput", overload.extra["resilience"]["goodput_ratio"]
+    )
+    scenarios.append(_scenario_row("overload", overload))
+
+    # -- combined plan through the phase-level router --------------------
+    phase_plan = FaultPlan(
+        events=(
+            FaultEvent(cycle=36_000, kind="token_loss"),
+            FaultEvent(cycle=42_000, kind="link_down", target="input:1",
+                       duration=2_000),
+            FaultEvent(cycle=48_000, kind="corrupt", target="input:2", param=7),
+        ),
+        name="phase-mixed",
+    )
+    phase = RouterEngine(SimConfig(fidelity="router", seed=seed)).run(
+        WorkloadSpec(pattern="uniform", packet_bytes=1024, packets=packets,
+                     fault_plan=phase_plan)
+    )
+    presil = phase.extra["resilience"]
+    result.add("phase_mixed_goodput", presil["goodput_ratio"])
+    result.add("phase_mixed_mttr_cycles", presil["mttr_cycles"])
+    scenarios.append(_scenario_row("phase_mixed", phase))
+
+    # -- optional user plan ---------------------------------------------
+    if plan is not None:
+        user = _fabric_run(base.replace(fault_plan=plan), seed)
+        user_name = getattr(resolve_plan(plan), "name", "") or "user_plan"
+        row = _scenario_row(f"plan:{user_name}", user)
+        scenarios.append(row)
+        resil = user.extra.get("resilience", {})
+        result.add(f"plan_{user_name}_goodput", resil.get("goodput_ratio"))
+
+    # -- acceptance invariants ------------------------------------------
+    checks = [
+        {
+            "name": "empty_plan_identity",
+            "passed": empty_identical,
+            "detail": f"empty-plan run {empty.gbps:.8f} Gbps / {empty.cycles} cyc "
+                      f"vs baseline {baseline.gbps:.8f} Gbps / {baseline.cycles} cyc",
+        },
+        {
+            "name": "dead_port_within_5pct_of_3port",
+            "passed": abs(dead_ratio - 1.0) <= 0.05,
+            "detail": f"degraded 4-port {dead.gbps:.3f} Gbps vs 3-port "
+                      f"reference {ref3.gbps:.3f} Gbps (ratio {dead_ratio:.4f})",
+        },
+        {
+            "name": "token_mttr_bounded",
+            "passed": token_mttr is not None
+            and 0 < token_mttr <= TOKEN_MTTR_BOUND_CYCLES,
+            "detail": f"token regenerated in {token_mttr} cycles "
+                      f"(bound {TOKEN_MTTR_BOUND_CYCLES})",
+        },
+        {
+            "name": "all_faults_recovered",
+            "passed": all(s["unrecovered"] == 0 for s in scenarios),
+            "detail": "open recovery records: "
+            + ", ".join(f"{s['name']}={s['unrecovered']}" for s in scenarios),
+        },
+    ]
+    for c in checks:
+        result.add(f"check:{c['name']}", "pass" if c["passed"] else "FAIL")
+    result.checks = checks
+    result.notes = "\n".join(
+        f"  {s['name']:<14} {s['gbps']:8.3f} Gbps  "
+        f"mttr={s['mttr_cycles'] if s['mttr_cycles'] is not None else '-':>8}  "
+        f"goodput={s['goodput_ratio'] if s['goodput_ratio'] is not None else '-'}  "
+        f"drops={s['drops']}"
+        for s in scenarios
+    )
+
+    if out is not None:
+        table = {
+            "schema": RESULTS_SCHEMA,
+            "seed": seed,
+            "quanta": quanta,
+            "packets": packets,
+            "scenarios": scenarios,
+            "checks": checks,
+        }
+        with open(out, "w") as fh:
+            json.dump(table, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
+def run_quick(seed: int = 0, out: Optional[str] = DEFAULT_OUT,
+              plan: Optional[str] = None) -> ExperimentResult:
+    """CI-smoke budget: same scenarios, ~5x shorter runs."""
+    return run(quanta=800, packets=600, seed=seed, out=out, plan=plan)
+
+
+def validate_results(path: str = DEFAULT_OUT) -> List[str]:
+    """Schema-check a written resilience table; returns problem strings."""
+    problems: List[str] = []
+    try:
+        with open(path) as fh:
+            table = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    if table.get("schema") != RESULTS_SCHEMA:
+        problems.append(f"schema is {table.get('schema')!r}, want {RESULTS_SCHEMA!r}")
+    if not table.get("scenarios"):
+        problems.append("no scenarios recorded")
+    for check in table.get("checks", []):
+        if not check.get("passed"):
+            problems.append(f"check failed: {check['name']} ({check['detail']})")
+    return problems

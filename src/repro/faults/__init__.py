@@ -1,0 +1,42 @@
+"""Fault injection and resilience for the Rotating Crossbar.
+
+The thesis assumes a fault-free fabric: the compile-time scheduler
+"never deadlocks" and the rotating token is never lost.  A production
+switch is not so lucky -- links flap, words take bit errors, tiles
+stall, line cards get overrun.  This package adds that axis:
+
+* :mod:`repro.faults.plan` -- declarative, seed-deterministic
+  :class:`FaultPlan` schedules (JSON-loadable) naming exactly which
+  fault hits which component at which cycle;
+* :mod:`repro.faults.inject` -- the kernel-level
+  :class:`FaultInjector` process that applies a plan to live channels
+  at exact cycles without perturbing the fault-free fast path;
+* :mod:`repro.faults.recovery` -- the detection/recovery state the
+  router layers share: token timeout + regeneration
+  (:class:`TokenRecovery`) and dead-port masking with degraded-mode
+  rerouting (:class:`DegradedRouting`).
+
+Resilience measurement (MTTR, goodput under faults, the drop taxonomy)
+lives in :mod:`repro.metrics.resilience`.
+"""
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    load_plan,
+    resolve_plan,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.recovery import DegradedRouting, TokenRecovery
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "DegradedRouting",
+    "TokenRecovery",
+    "load_plan",
+    "resolve_plan",
+]

@@ -1,0 +1,222 @@
+"""Kernel-level fault injection: apply a :class:`FaultPlan` to live channels.
+
+The :class:`FaultInjector` turns a plan into a timeline of apply/restore
+actions and runs as an ordinary kernel process, sleeping between fault
+cycles.  It never touches the kernel's hot loops: injection works purely
+through :class:`~repro.sim.channel.Channel`'s fault hooks (capacity
+zeroing + ready-time deferral for link-down windows, head-word rewrite
+for corruption), which every put/get path -- blocking, inlined, and
+burst -- already honors.  With no plan installed nothing here runs at
+all, so the fault-free fast path is bit-for-bit unchanged.
+
+Engine-specific faults (token loss, permanent port death, fabric-level
+overload) are delegated to host callbacks; the host decides which kinds
+it supports and :meth:`FaultInjector.validate` rejects a plan that asks
+for more.
+
+The injector also owns the **burst fallback gate**: burst commands cover
+a span of cycles with a single kernel state machine, so a host planning
+a burst over ``[now, now + span]`` asks :meth:`burst_ok` first and falls
+back to word-at-a-time loops whenever a fault boundary or active fault
+window intersects the span.  Since bursts are cycle-for-cycle identical
+to word loops, the gate only ever needs to be *conservative*; it exists
+so that a fault landing mid-burst is applied against word-granular
+channel state on both engines identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.faults.plan import WINDOW_KINDS, FaultEvent, FaultPlan
+from repro.metrics.resilience import ResilienceMetrics
+from repro.sim.channel import Channel
+
+#: Timeline actions, in application order at a shared cycle: restores
+#: happen before new faults so back-to-back windows hand off cleanly.
+_A_RESTORE = 0
+_A_APPLY = 1
+
+
+class FaultInjector:
+    """Applies a fault plan to a kernel simulation at exact cycles.
+
+    Parameters
+    ----------
+    plan:
+        The schedule to apply (must be non-empty; callers resolve empty
+        plans to "no injector at all" via
+        :func:`repro.faults.plan.resolve_plan`).
+    channels:
+        Registry mapping target strings (``"input:0"``, ``"link:sn1.t5->t6"``,
+        ...) to :class:`Channel` objects.
+    channel_for:
+        Optional override resolving an event to its channel (hosts use
+        this to map port-scoped targets like ``stall`` on ``"port:2"``
+        onto the port's ingress feed).  Defaults to a registry lookup of
+        ``event.target``.
+    corrupt:
+        ``corrupt(value, param) -> value`` mutator for corruption events;
+        hosts flip a header bit (phase level) or a payload bit pattern
+        (word level).
+    on_token_loss / on_port_down:
+        Host callbacks ``f(event, cycle)`` implementing engine-specific
+        faults.  Their *recovery* is closed by the host through
+        ``metrics.close_open(...)`` when detection completes.
+    on_window / on_window_end:
+        Optional callbacks ``f(event, cycle)`` fired at windowed-fault
+        edges for kinds the host handles without a channel (fabric-level
+        overload).  A windowed event with neither a channel nor these
+        hooks fails validation.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        channels: Optional[Dict[str, Channel]] = None,
+        channel_for: Optional[Callable[[FaultEvent], Optional[Channel]]] = None,
+        corrupt: Optional[Callable[[Any, int], Any]] = None,
+        on_token_loss: Optional[Callable[[FaultEvent, int], None]] = None,
+        on_port_down: Optional[Callable[[FaultEvent, int], None]] = None,
+        on_window: Optional[Callable[[FaultEvent, int], None]] = None,
+        on_window_end: Optional[Callable[[FaultEvent, int], None]] = None,
+        metrics: Optional[ResilienceMetrics] = None,
+    ):
+        self.plan = plan
+        self.channels = dict(channels or {})
+        self._channel_for = channel_for or (lambda e: self.channels.get(e.target))
+        self._corrupt = corrupt
+        self._on_token_loss = on_token_loss
+        self._on_port_down = on_port_down
+        self._on_window = on_window
+        self._on_window_end = on_window_end
+        self.metrics = metrics if metrics is not None else ResilienceMetrics()
+        self._boundaries: Tuple[int, ...] = plan.boundaries()
+        # Merged [start, end) windowed-fault intervals for burst_ok.
+        self._win_starts: List[int] = []
+        self._win_ends: List[int] = []
+        for ev in sorted(
+            (e for e in plan.events if e.kind in WINDOW_KINDS),
+            key=lambda e: e.cycle,
+        ):
+            if self._win_ends and ev.cycle <= self._win_ends[-1]:
+                self._win_ends[-1] = max(self._win_ends[-1], ev.end)
+            else:
+                self._win_starts.append(ev.cycle)
+                self._win_ends.append(ev.end)
+        self._timeline = self._build_timeline()
+
+    # -- timeline -------------------------------------------------------
+    def _build_timeline(self) -> List[Tuple[int, int, int, str, FaultEvent]]:
+        """(cycle, action, seq, verb, event) rows, sorted for replay."""
+        rows = []
+        for seq, ev in enumerate(self.plan.events):
+            if ev.kind in WINDOW_KINDS:
+                rows.append((ev.cycle, _A_APPLY, seq, "down", ev))
+                rows.append((ev.end, _A_RESTORE, seq, "up", ev))
+            else:
+                rows.append((ev.cycle, _A_APPLY, seq, ev.kind, ev))
+        rows.sort(key=lambda r: (r[0], r[1], r[2]))
+        return rows
+
+    def validate(self) -> None:
+        """Raise ValueError for any event this host cannot realize."""
+        for ev in self.plan.events:
+            if ev.kind == "token_loss":
+                if self._on_token_loss is None:
+                    raise ValueError(
+                        "fault plan requests token_loss but this engine has "
+                        "no rotating-token model"
+                    )
+            elif ev.kind == "port_down":
+                if self._on_port_down is None:
+                    raise ValueError(
+                        "fault plan requests port_down but this engine has "
+                        "no degraded-routing support"
+                    )
+            elif ev.kind == "corrupt":
+                if self._corrupt is None:
+                    raise ValueError("corrupt fault needs a corrupt() mutator")
+                if self._channel_for(ev) is None:
+                    raise ValueError(
+                        f"corrupt fault target {ev.target!r} matches no channel"
+                    )
+            else:  # windowed kinds
+                if self._channel_for(ev) is None and self._on_window is None:
+                    raise ValueError(
+                        f"{ev.kind} fault target {ev.target!r} matches no "
+                        f"channel and the engine installed no window hook"
+                    )
+
+    # -- the injector process ------------------------------------------
+    def attach(self, sim, name: str = "fault-injector"):
+        """Register the injector as a process on ``sim``; validates first."""
+        self.validate()
+        return sim.add_process(self.process(sim), name=name)
+
+    def process(self, sim):
+        """Generator replaying the timeline against ``sim``'s channels."""
+        from repro.sim.kernel import Timeout
+
+        now = sim.now
+        for cycle, _action, _seq, verb, ev in self._timeline:
+            if cycle > now:
+                yield Timeout(cycle - now)
+                now = cycle
+            self._fire(sim, verb, ev, now)
+
+    def _fire(self, sim, verb: str, ev: FaultEvent, now: int) -> None:
+        if verb == "down":
+            ch = self._channel_for(ev)
+            if ch is not None:
+                ch.fault_down(ev.end)
+            elif self._on_window is not None:
+                self._on_window(ev, now)
+            self.metrics.record_fault(now, ev.kind, ev.target)
+        elif verb == "up":
+            ch = self._channel_for(ev)
+            if ch is not None:
+                if ch.fault_restore():
+                    # Wake any putters/getters parked against the outage.
+                    sim._service_channel(ch)
+            elif self._on_window_end is not None:
+                self._on_window_end(ev, now)
+            self.metrics.close_open(ev.kind, ev.target, now)
+        elif verb == "corrupt":
+            ch = self._channel_for(ev)
+            hit = False
+            if ch is not None and self._corrupt is not None:
+                param = ev.param
+                hit, _ = ch.fault_corrupt_head(
+                    lambda value: self._corrupt(value, param)
+                )
+            rec = self.metrics.record_fault(now, ev.kind, ev.target, applied=hit)
+            # Corruption is instantaneous; detection shows up in the drop
+            # taxonomy, not as an open recovery.
+            rec.recovered_at = now
+        elif verb == "token_loss":
+            self.metrics.record_fault(now, ev.kind, ev.target)
+            if self._on_token_loss is not None:
+                self._on_token_loss(ev, now)
+        elif verb == "port_down":
+            self.metrics.record_fault(now, ev.kind, ev.target)
+            if self._on_port_down is not None:
+                self._on_port_down(ev, now)
+
+    # -- burst fallback gate -------------------------------------------
+    def burst_ok(self, now: int, span: int = 0) -> bool:
+        """True when a burst covering ``[now, now + span]`` cannot
+        interact with any fault: no plan boundary inside the span and no
+        fault window active.  Conservative by design -- a False answer
+        only costs the caller a word-at-a-time fallback."""
+        b = self._boundaries
+        if bisect_right(b, now + span) != bisect_left(b, now):
+            return False
+        # Active window: the latest window starting at or before `now`
+        # still covers it.
+        i = bisect_right(self._win_starts, now) - 1
+        if i >= 0 and now < self._win_ends[i]:
+            return False
+        return True

@@ -94,6 +94,27 @@ class StaticNetwork:
         """Directions in which ``tile`` touches the chip edge."""
         return [d for (t, d) in self._edges if t == tile]
 
+    def find(self, name: str) -> Optional[Channel]:
+        """The link or edge channel with kernel name ``name``, or None.
+
+        Fault plans name word-level targets this way
+        (``"link:sn1.t5->t6"``); a linear scan is fine because it runs
+        once per fault event at plan-install time, never per cycle.
+        """
+        for ch in self._links.values():
+            if ch.name == name:
+                return ch
+        for ch in self._edges.values():
+            if ch.name == name:
+                return ch
+        return None
+
+    def channels(self) -> Dict[str, Channel]:
+        """Every link/edge channel keyed by its kernel name."""
+        out = {ch.name: ch for ch in self._links.values()}
+        out.update({ch.name: ch for ch in self._edges.values()})
+        return out
+
 
 class DynamicNetwork:
     """Latency model + mailbox delivery for Raw's dynamic networks."""

@@ -78,7 +78,13 @@ class SwitchProcessor:
     counter" step (section 6.5) is modeled.
     """
 
-    def __init__(self, tile: int, name: Optional[str] = None, use_bursts: bool = True):
+    def __init__(
+        self,
+        tile: int,
+        name: Optional[str] = None,
+        use_bursts: bool = True,
+        burst_gate=None,
+    ):
         self.tile = tile
         self.name = name or f"switch@t{tile}"
         self.words_routed = 0
@@ -88,6 +94,12 @@ class SwitchProcessor:
         #: Get/Put yield at a time.  Cycle-for-cycle identical (see
         #: tests/test_burst_equivalence.py); keep the flag for A/B runs.
         self.use_bursts = use_bursts
+        #: Optional ``gate(span_cycles) -> bool`` consulted before each
+        #: burst; False forces the word-at-a-time fallback for that
+        #: instruction.  Fault injection uses it to keep channel state
+        #: word-granular across fault boundaries (both paths are
+        #: cycle-identical, so gating never changes results).
+        self.burst_gate = burst_gate
 
     def execute(self, program: Iterable[RouteInstruction]) -> Generator:
         """Kernel process running ``program`` to completion."""
@@ -99,7 +111,9 @@ class SwitchProcessor:
             self.instructions_executed += instr.repeat
             yield Timeout(instr.repeat)
             return
-        if self.use_bursts:
+        if self.use_bursts and (
+            self.burst_gate is None or self.burst_gate(instr.repeat)
+        ):
             self.instructions_executed += instr.repeat
             yield instr.burst()
             self.words_routed += instr.words_moved

@@ -34,11 +34,21 @@ class EgressProcessor:
                 continue
             self._have.pop(pid, None)
             pkt = frag.packet
+            if router.faults_on:
+                # Egress-side verification: a header corrupted in flight
+                # no longer matches its checksum (ingress re-patched it
+                # after the TTL decrement, so healthy packets pass).
+                if not pkt.checksum_ok():
+                    stats.corrupt_drops += 1
+                    router.resilience.record_drop("corrupt")
+                    continue
             # Stream the complete packet to the line card: 1 word/cycle.
             yield Timeout(pkt.total_words, BUSY)
             pkt.departure_cycle = router.sim.now
             stats.record_delivery(
                 router.sim.now, self.port, pkt.total_length, pkt.input_port
             )
+            if router.faults_on:
+                router.resilience.delivered_words += pkt.total_words
             if pkt.arrival_cycle >= 0 and router.sim.now >= stats.warmup_cycles:
                 stats.latency.record(pkt.arrival_cycle, pkt.departure_cycle)

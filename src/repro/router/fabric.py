@@ -25,6 +25,56 @@ class RotatingCrossbarFabric:
     def __init__(self, router):
         self.router = router
 
+    def _fault_quantum_prologue(self) -> Generator:
+        """Per-quantum fault bookkeeping; only runs with faults armed.
+
+        Three jobs, in dependency order: acknowledge freshly dead ports
+        (closing their reconvergence records), detect and repair a lost
+        token (the fixed-length regeneration protocol of
+        :class:`~repro.faults.recovery.TokenRecovery`), and clear
+        dead-port traffic -- everything queued *at* a dead input, and any
+        live input's stale head still addressed *to* a dead port from
+        before the routing layer reconverged.
+        """
+        router = self.router
+        sim = router.sim
+        stats = router.stats
+        timing = router.timing
+        recovery = router.token_recovery
+        degraded = router.degraded
+        resilience = router.resilience
+
+        if router._dead_pending:
+            for port in router._dead_pending:
+                degraded.converged(port, sim.now)
+            router._dead_pending.clear()
+
+        if recovery.lost:
+            for _ in range(recovery.recovery_quanta()):
+                stats.quanta += 1
+                stats.idle_quanta += 1
+                yield Timeout(idle_quantum_cycles(timing), BUSY)
+            recovery.recover(router.token, sim.now)
+
+        if degraded.any_dead:
+            for port in range(router.num_ports):
+                queue = router.input_queues[port]
+                if not degraded.alive(port):
+                    while True:
+                        ok, _frag = sim.try_get(queue)
+                        if not ok:
+                            break
+                        stats.dead_port_drops += 1
+                        resilience.record_drop("dead_port")
+                else:
+                    while True:
+                        ready, frag = sim.peek(queue)
+                        if not ready or degraded.alive(frag.dest):
+                            break
+                        sim.try_get(queue)
+                        stats.dead_port_drops += 1
+                        resilience.record_drop("dead_port")
+
     def run(self) -> Generator:
         router = self.router
         sim = router.sim
@@ -36,6 +86,9 @@ class RotatingCrossbarFabric:
         transform = router.transform
 
         while True:
+            if router.faults_on:
+                yield from self._fault_quantum_prologue()
+
             # Headers phase: inspect (do not consume) each input's HOL.
             heads: List[Optional[QuantumFragment]] = []
             for port in range(n):
@@ -83,7 +136,13 @@ class RotatingCrossbarFabric:
 
             for grant in alloc.grants.values():
                 ok, frag = sim.try_get(router.input_queues[grant.src])
-                assert ok, "granted input queue emptied mid-quantum"
+                if not ok:
+                    # Only reachable under fault injection: the input
+                    # link went down after the headers phase, deferring
+                    # the granted fragment past this quantum.  It stays
+                    # queued and re-arbitrates once the link restores.
+                    assert router.faults_on, "granted input queue emptied mid-quantum"
+                    continue
                 if transform is not None and frag.is_last:
                     frag.packet.payload = tuple(
                         transform.apply(frag.packet.payload)

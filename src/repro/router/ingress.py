@@ -56,6 +56,8 @@ class IngressProcessor:
             if pkt.arrival_cycle < 0:
                 pkt.arrival_cycle = router.sim.now
             words = pkt.total_words
+            if router.faults_on:
+                router.resilience.offered_words += words
 
             # Stream the packet in from the line (1 word/cycle); the
             # route lookup runs on the Lookup Processor concurrently and
@@ -76,6 +78,14 @@ class IngressProcessor:
             if out_port is None or not 0 <= out_port < router.num_ports:
                 stats.ttl_drops += 1  # unroutable; folded into drop count
                 continue
+            if router.faults_on and router.degraded.any_dead:
+                # Degraded mode: the routing layer has reconverged around
+                # dead ports, steering their traffic to the next live one.
+                out_port = router.degraded.remap(out_port)
+                if out_port is None:  # every port is dead
+                    stats.dead_port_drops += 1
+                    router.resilience.record_drop("dead_port")
+                    continue
             pkt.output_port = out_port
 
             for frag in fragment_packet(pkt, out_port, router.max_quantum_words):

@@ -38,6 +38,7 @@ class LineCardSource:
         count: Optional[int] = None,
         deterministic: bool = False,
         stats=None,
+        resilience=None,
     ):
         if not 0.0 < offered_load <= 1.0:
             raise ValueError("offered_load must be in (0, 1]")
@@ -49,6 +50,7 @@ class LineCardSource:
         self.count = count
         self.deterministic = deterministic
         self.stats = stats
+        self.resilience = resilience
         self.sent = 0
         self.dropped = 0
 
@@ -69,3 +71,5 @@ class LineCardSource:
                 self.dropped += 1
                 if self.stats is not None:
                     self.stats.line_drops += 1
+                if self.resilience is not None:
+                    self.resilience.record_drop("line")

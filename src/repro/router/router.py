@@ -23,6 +23,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.config import CostModel, SimConfig
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import PlanLike, resolve_plan
+from repro.faults.recovery import DegradedRouting, TokenRecovery
+from repro.metrics.resilience import ResilienceMetrics
 from repro.core.allocator import Allocator
 from repro.core.compute import StreamTransform
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming
@@ -120,6 +124,16 @@ class RawRouter:
         self._fabric_started = False
         self._attached = False
 
+        # Fault-injection state: all None/False until install_faults(),
+        # so the fault-free pipeline takes zero extra branches that matter.
+        self.faults_on = False
+        self.injector: Optional[FaultInjector] = None
+        self.resilience: Optional[ResilienceMetrics] = None
+        self.degraded: Optional[DegradedRouting] = None
+        self.token_recovery: Optional[TokenRecovery] = None
+        self._dead_pending: List[int] = []
+        self._injector_started = False
+
     @classmethod
     def from_config(
         cls,
@@ -140,6 +154,72 @@ class RawRouter:
             costs=config.cost_model(),
             **overrides,
         )
+
+    # -- fault injection (repro.faults) --------------------------------
+    def install_faults(
+        self, plan: PlanLike, metrics: Optional[ResilienceMetrics] = None
+    ) -> Optional[FaultInjector]:
+        """Arm a fault plan; call before attaching sources.
+
+        None or an empty plan is a no-op (the router stays on its
+        fault-free fast path).  Returns the injector, whose process is
+        attached lazily on the first :meth:`run` so that late-built
+        channels (line cards) are targetable.
+        """
+        plan = resolve_plan(plan)
+        if plan is None:
+            return None
+        if self._attached:
+            raise RuntimeError("install_faults() must precede source attach")
+        self.resilience = metrics if metrics is not None else ResilienceMetrics()
+        self.degraded = DegradedRouting(self.num_ports, self.resilience)
+        self.token_recovery = TokenRecovery(self.num_ports, self.resilience)
+        registry = {}
+        for p in range(self.num_ports):
+            registry[f"input:{p}"] = self.input_queues[p]
+            registry[f"egress:{p}"] = self.egress_queues[p]
+        self.injector = FaultInjector(
+            plan,
+            channels=registry,
+            channel_for=self._fault_channel_for,
+            corrupt=self._fault_corrupt,
+            on_token_loss=lambda ev, cycle: self.token_recovery.lose(cycle),
+            on_port_down=self._fault_port_down,
+            metrics=self.resilience,
+        )
+        self.faults_on = True
+        return self.injector
+
+    def _fault_channel_for(self, ev):
+        """Resolve an event's channel: registry first, then the port-scoped
+        conventions (a stalled tile silences its ingress feed; an overrun
+        line card stops draining its egress queue)."""
+        ch = self.injector.channels.get(ev.target)
+        if ch is not None:
+            return ch
+        p = ev.port
+        if p is not None and 0 <= p < self.num_ports:
+            if ev.kind in ("stall", "link_down", "corrupt"):
+                return self.input_queues[p]
+            if ev.kind == "overload":
+                return self.egress_queues[p]
+        return None
+
+    def _fault_corrupt(self, frag, param: int):
+        """Single-word header corruption: flip one bit of the in-flight
+        fragment's destination address *without* patching the checksum --
+        exactly what the egress-side verification exists to catch."""
+        frag.packet.dst ^= 1 << (param % 32)
+        return frag
+
+    def _fault_port_down(self, ev, cycle: int) -> None:
+        port = ev.port
+        if port is None or not 0 <= port < self.num_ports:
+            return
+        if self.degraded.kill(port):
+            # The fabric acknowledges (and closes the recovery record)
+            # at its next quantum boundary -- the reconvergence delay.
+            self._dead_pending.append(port)
 
     # ------------------------------------------------------------------
     def _start_fabric_and_egress(self) -> None:
@@ -189,6 +269,8 @@ class RawRouter:
         sources: List[LineCardSource] = []
         for port in range(self.num_ports):
             line_in = self.sim.channel(f"line{port}", capacity=line_buffer_packets)
+            if self.injector is not None:
+                self.injector.channels[f"line:{port}"] = line_in
 
             def make(p: int = port):
                 return factory.from_workload(workload, p)
@@ -201,6 +283,7 @@ class RawRouter:
                 rng,
                 count=packets_per_port,
                 stats=self.stats,
+                resilience=self.resilience,
             )
             self.sim.add_process(src.run(self.sim), name=f"linecard{port}")
             ing = IngressProcessor(port, self, line_in=line_in)
@@ -227,6 +310,9 @@ class RawRouter:
             raise RuntimeError("attach a traffic source before running")
         if max_cycles is None and target_packets is None:
             raise ValueError("need a stopping condition")
+        if self.injector is not None and not self._injector_started:
+            self.injector.attach(self.sim)
+            self._injector_started = True
         while True:
             if max_cycles is not None:
                 self.sim.run(until=max_cycles, raise_on_deadlock=False)

@@ -30,6 +30,12 @@ class RouterStats:
     line_drops: int = 0
     checksum_drops: int = 0
     ttl_drops: int = 0
+    #: Packets whose checksum broke in flight (fault injection), caught
+    #: by the egress-side verification before hitting the line.
+    corrupt_drops: int = 0
+    #: Traffic lost to a dead port: fragments drained at the fabric,
+    #: plus packets unroutable because every port died.
+    dead_port_drops: int = 0
     quanta: int = 0
     idle_quanta: int = 0
     blocked_grants: int = 0
@@ -68,6 +74,20 @@ class RouterStats:
     @property
     def delivered_packets(self) -> int:
         return self.meter.packets
+
+    def drop_taxonomy(self) -> dict:
+        """Why packets died, by cause (the chaos harness's loss report)."""
+        return {
+            "line": self.line_drops,
+            "checksum": self.checksum_drops,
+            "ttl": self.ttl_drops,
+            "corrupt": self.corrupt_drops,
+            "dead_port": self.dead_port_drops,
+        }
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drop_taxonomy().values())
 
     def port_share(self) -> List[float]:
         """Egress-side bandwidth shares."""

@@ -114,6 +114,7 @@ class WordLevelRouter:
         verify_payloads: bool = False,
         costs: CostModel = CostModel.default(),
         use_bursts: bool = True,
+        faults=None,
     ):
         self.costs = costs
         # Burst channel ops are cycle-for-cycle identical to the word
@@ -130,11 +131,16 @@ class WordLevelRouter:
         self.delivered_words = 0
         self.per_port_packets = [0, 0, 0, 0]
         self.payload_errors = 0
+        self.corrupt_drops = 0
         # Compiled body programs keyed by segment signature: traffic
         # repeats allocations (permutation traffic literally reuses one
         # forever), so each distinct program is compiled once per run.
         self._program_cache: Dict[tuple, List[RouteInstruction]] = {}
+        self.injector = None
+        self.resilience = None
+        self._fault_plan = faults
         self._build()
+        self._install_faults(faults)
 
     # ------------------------------------------------------------------
     # Channel plumbing.
@@ -183,6 +189,74 @@ class WordLevelRouter:
             chip.add_io_program(self._line_sink(r), name=f"sink{r}")
 
     # ------------------------------------------------------------------
+    # Fault injection (repro.faults).
+    # ------------------------------------------------------------------
+    def _install_faults(self, plan) -> None:
+        from repro.faults.inject import FaultInjector
+        from repro.faults.plan import resolve_plan
+        from repro.metrics.resilience import ResilienceMetrics
+
+        self._burst_gate = None
+        plan = resolve_plan(plan)
+        if plan is None:
+            return
+        registry = {}
+        for p in range(4):
+            registry[f"input:{p}"] = self.in_link[p]
+            registry[f"grant:{p}"] = self.grant_link[p]
+            registry[f"egress:{p}"] = self.out_link[p]
+            registry[f"line:{p}"] = self.line_out[p]
+        net_channels = self.chip.network.channels()
+
+        def channel_for(ev):
+            ch = registry.get(ev.target)
+            if ch is not None:
+                return ch
+            if ev.target.startswith("link:"):
+                # Any raw static-network channel by its kernel name,
+                # e.g. "link:sn1.t5->t6" -- word-level only.
+                return net_channels.get(ev.target[len("link:"):])
+            p = ev.port
+            if p is not None and 0 <= p < 4 and ev.kind in (
+                "stall",
+                "link_down",
+                "corrupt",
+            ):
+                return self.in_link[p]
+            return None
+
+        self.resilience = ResilienceMetrics()
+        # No on_token_loss / on_port_down hooks: the word-level prototype
+        # has no fabric-global recovery state, so validate() rejects
+        # plans asking for those kinds with a clear error.
+        self.injector = FaultInjector(
+            plan,
+            channels=registry,
+            channel_for=channel_for,
+            corrupt=self._fault_corrupt,
+            metrics=self.resilience,
+        )
+        self.injector.attach(self.chip.sim, name="fault-injector")
+        self._burst_gate = lambda span: self.injector.burst_ok(
+            self.chip.sim.now, span
+        )
+
+    @staticmethod
+    def _fault_corrupt(value, param: int):
+        """Flip one bit of an in-flight data word.  Control words
+        (headers, fragment meta) pass through untouched: corrupting the
+        protocol itself would model a different failure class."""
+        if isinstance(value, int):
+            return value ^ (1 << (param % 32))
+        return value
+
+    def _bursts_ok(self, span: int) -> bool:
+        """Burst fallback gate for the ingress/sink programs."""
+        if self._burst_gate is None:
+            return True
+        return self._burst_gate(span)
+
+    # ------------------------------------------------------------------
     # Tile programs.
     # ------------------------------------------------------------------
     def _ingress(self, port: int) -> Generator:
@@ -224,6 +298,8 @@ class WordLevelRouter:
                     nbytes=pkt.total_length,
                     packet=pkt,
                 )
+                if self.resilience is not None:
+                    self.resilience.offered_words += nwords
                 pending = (dest, [meta] + words[1:])
             dest, body = pending
             yield Put(self.in_link[port], _Header(dest=dest, words=len(body)))
@@ -235,7 +311,7 @@ class WordLevelRouter:
                 # (``lw $csto, 0(r)``): one instruction per word, so the
                 # streaming shows up as busy cycles in the Fig 7-3 trace;
                 # back-pressure appears as transmit-blocked.
-                if self.use_bursts:
+                if self.use_bursts and self._bursts_ok(2 * len(body)):
                     yield PutBurst(self.in_link[port], body, gap=1, state=BUSY)
                 else:
                     for w in body:
@@ -295,7 +371,9 @@ class WordLevelRouter:
     def _crossbar_switch(self, ring_index: int) -> Generator:
         """Switch Processor: fixed header program + per-quantum body."""
         i = ring_index
-        sp = SwitchProcessor(CROSSBAR_RING[i], use_bursts=self.use_bursts)
+        sp = SwitchProcessor(
+            CROSSBAR_RING[i], use_bursts=self.use_bursts, burst_gate=self._burst_gate
+        )
         header_in = RouteInstruction(
             moves=((self.in_link[i], self.sw2proc[i]),), repeat=2, label="hdr-in"
         )
@@ -396,7 +474,11 @@ class WordLevelRouter:
 
     def _egress_switch(self, port: int) -> Generator:
         """Egress switch: permanent cut-through route to the line out."""
-        sp = SwitchProcessor(ROUTER_LAYOUT[port].egress, use_bursts=self.use_bursts)
+        sp = SwitchProcessor(
+            ROUTER_LAYOUT[port].egress,
+            use_bursts=self.use_bursts,
+            burst_gate=self._burst_gate,
+        )
         # The relay runs forever, so how many repetitions one instruction
         # carries is unobservable (the word stream is identical for any
         # subdivision); a whole-quantum repeat lets the burst path hand
@@ -427,20 +509,28 @@ class WordLevelRouter:
                 raise RuntimeError(
                     f"egress {port}: expected fragment meta, got {meta!r}"
                 )
-            if self.use_bursts:
+            if self.use_bursts and self._bursts_ok(meta.nwords):
                 received = yield GetBurst(self.line_out[port], meta.nwords - 1)
             else:
                 received = []
                 for _ in range(meta.nwords - 1):
                     w = yield Get(self.line_out[port])
                     received.append(w)
-            if self.verify_payloads:
+            if self.verify_payloads or self.injector is not None:
                 expected = meta.packet.to_words()[1:]
                 if received != expected:
                     self.payload_errors += 1
+                    if self.injector is not None:
+                        # Line-card CRC catches the in-flight corruption;
+                        # the packet is discarded, not delivered.
+                        self.corrupt_drops += 1
+                        self.resilience.record_drop("corrupt")
+                        continue
             self.delivered_packets += 1
             self.delivered_words += meta.nwords
             self.per_port_packets[port] += 1
+            if self.resilience is not None:
+                self.resilience.delivered_words += meta.nwords
 
     # ------------------------------------------------------------------
     def run(self, until_cycles: int, warmup_cycles: int = 0) -> WordLevelResult:

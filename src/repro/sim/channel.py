@@ -33,6 +33,7 @@ class Channel:
         "_getters",
         "_service_at",
         "_registered",
+        "_fault_capacity",
     )
 
     def __init__(self, name: str = "", capacity: int = 1, latency: int = 0):
@@ -53,6 +54,9 @@ class Channel:
         # True once the kernel has listed this channel in its registry of
         # channels that ever parked a waiter (used for deadlock reports).
         self._registered: bool = False
+        # Saved capacity while a link-down fault holds this channel, or
+        # None when the link is healthy (see fault_down / fault_restore).
+        self._fault_capacity = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -107,3 +111,56 @@ class Channel:
         """Pre-load a word before the simulation starts (e.g. a mutex
         token); bypasses capacity checks and waiter bookkeeping."""
         self._items.append((ready_at, value))
+
+    # -- fault-injection hooks (repro.faults) ---------------------------
+    # Every kernel put path (blocking Put, burst state machines, inlined
+    # arms in Simulator._step) admits a word only when
+    # ``len(_items) < capacity``, and every get path hands out the head
+    # only when ``_items[0][0] <= now``.  Dropping capacity to 0 and
+    # pushing ready times past the outage therefore silences the link on
+    # *all* paths -- including bursts -- with zero cost to fault-free runs.
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault_capacity is not None
+
+    def fault_down(self, until: int) -> None:
+        """Take the link down: no word enters or leaves before ``until``.
+
+        Words already in the link stage are held (they re-arrive when the
+        link comes back, modeling a stalled wire, not a lossy one);
+        putters back-pressure against the zeroed capacity.
+        """
+        if self._fault_capacity is None:
+            self._fault_capacity = self.capacity
+        self.capacity = 0
+        if self._items:
+            self._items = deque(
+                (max(ready, until), value) for ready, value in self._items
+            )
+
+    def fault_restore(self) -> bool:
+        """Bring the link back up; True if it was actually down.
+
+        The caller (the injector) must re-service the channel so parked
+        putters/getters wake -- the channel itself has no kernel handle.
+        """
+        if self._fault_capacity is None:
+            return False
+        self.capacity = self._fault_capacity
+        self._fault_capacity = None
+        return True
+
+    def fault_corrupt_head(self, mutate) -> Tuple[bool, Any]:
+        """Apply ``mutate`` to the head in-flight word, in place.
+
+        Returns ``(True, new_value)`` when a word was present, else
+        ``(False, None)`` -- a corruption event aimed at an idle link is
+        a miss, which the resilience metrics count separately.
+        """
+        if not self._items:
+            return False, None
+        ready, value = self._items[0]
+        new_value = mutate(value)
+        self._items[0] = (ready, new_value)
+        return True, new_value

@@ -11,13 +11,34 @@ class DeadlockError(SimulationError):
     In a correctly scheduled Rotating Crossbar this never happens (the
     compile-time scheduler only emits conflict-free, forward-progressing
     routes -- thesis section 5.5); the kernel surfaces it loudly so that
-    schedule bugs are caught by tests rather than hanging the simulation.
+    schedule bugs -- and fault-induced wedges during chaos runs -- are
+    diagnosable from the exception message alone.  When the kernel passes
+    ``now``, each blocked process is reported with its direction
+    (``tx``/``rx``), the channel it is parked on with that channel's
+    occupancy/capacity, and the cycle it blocked at.
     """
 
-    def __init__(self, blocked):
+    def __init__(self, blocked, now=None):
         self.blocked = list(blocked)
-        names = ", ".join(p.name for p in self.blocked)
-        super().__init__(
-            f"simulation deadlock: event queue empty with {len(self.blocked)} "
-            f"blocked process(es): {names}"
+        self.now = now
+        lines = []
+        for p in self.blocked:
+            ch = getattr(p, "_block_channel", None)
+            state = getattr(p, "_block_state", None) or "?"
+            since = getattr(p, "_block_start", None)
+            if ch is not None:
+                where = (
+                    f"{state} on {ch.name or '<unnamed>'} "
+                    f"[{len(ch._items)}/{ch.capacity} words"
+                    + (", link down" if getattr(ch, "fault_active", False) else "")
+                    + "]"
+                )
+            else:
+                where = state
+            lines.append(f"  {p.name}: {where}, blocked since cycle {since}")
+        header = (
+            f"simulation deadlock"
+            + (f" at cycle {now}" if now is not None else "")
+            + f": event queue empty with {len(self.blocked)} blocked process(es):"
         )
+        super().__init__("\n".join([header] + lines))

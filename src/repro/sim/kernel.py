@@ -1066,7 +1066,7 @@ class Simulator:
         blocked = self._collect_blocked()
         self._drained_blocked = blocked
         if blocked and raise_on_deadlock and until is None:
-            raise DeadlockError(blocked)
+            raise DeadlockError(blocked, now=self.now)
         return self.now
 
     def _collect_blocked(self) -> List[Process]:

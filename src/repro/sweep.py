@@ -43,6 +43,9 @@ ALIASES = {
     "bytes": "packet_bytes",
     "size": "packet_bytes",
     "load_pattern": "pattern",
+    # A fault-plan JSON path per cell: chaos grids fan across workers
+    # like any other axis (the plan rides inside the WorkloadSpec).
+    "faults": "fault_plan",
 }
 
 _WORKLOAD_FIELDS = frozenset(WorkloadSpec.__dataclass_fields__)
