@@ -178,7 +178,9 @@ def _cmd_chaos(args) -> int:
     from repro.experiments import resilience
 
     runner = resilience.run_quick if args.quick else resilience.run
-    result = runner(seed=args.seed, out=args.out, plan=args.plan)
+    result = runner(
+        seed=args.seed, out=args.out, plan=args.plan, telemetry=args.telemetry
+    )
     print(result.to_text())
     print(f"wrote {args.out}")
     if args.check:
@@ -187,6 +189,12 @@ def _cmd_chaos(args) -> int:
             print(f"CHECK FAILED: {c['name']}: {c['detail']}", file=sys.stderr)
         return 1 if failed else 0
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import traced
+
+    return traced.main(args)
 
 
 def _cmd_sweep(args) -> int:
@@ -208,6 +216,7 @@ def _cmd_sweep(args) -> int:
             base_config=base_config,
             base_workload=base_workload,
             base_seed=args.seed,
+            telemetry=args.telemetry,
         )
     except ValueError as exc:
         print(f"bad --grid: {exc}", file=sys.stderr)
@@ -254,6 +263,51 @@ def main(argv=None) -> int:
         action="store_true",
         help="validate the results file schema and exit (no benchmarking)",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with telemetry on; export a Chrome/"
+        "Perfetto trace plus stage-latency and kernel-profile tables",
+    )
+    trace.add_argument(
+        "experiment",
+        nargs="?",
+        default="fig7_1_peak",
+        help="traceable experiment (see repro.telemetry.traced.SPECS)",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="TRACE.json",
+        help="write the Chrome-trace JSON here (load in ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--packets", type=int, default=None, help="override the packet budget"
+    )
+    trace.add_argument(
+        "--summary",
+        action="store_true",
+        help="also print metrics snapshot + first packet journeys",
+    )
+    trace.add_argument("--quick", action="store_true", help="CI smoke budget")
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="self-check: schema, determinism, disabled-run identity, "
+        "journey completeness, <=5%% disabled overhead",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="metrics snapshot cadence (default 5000 cycles)",
+    )
+    trace.add_argument(
+        "--bench-results",
+        default=None,
+        metavar="BENCH.json",
+        help="bench results file for the overhead reference "
+        "(default benchmarks/BENCH_results.json)",
+    )
     sweep = sub.add_parser(
         "sweep", help="fan a config grid across multiprocessing workers"
     )
@@ -289,6 +343,12 @@ def main(argv=None) -> int:
         help="arm this fault plan in every cell (cells can still sweep "
         "`faults=planA.json,planB.json` as a grid axis)",
     )
+    sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable telemetry in every worker; each cell's result "
+        "carries a telemetry summary",
+    )
     chaos = sub.add_parser(
         "chaos", help="fault-injection scenarios: MTTR / goodput / drops"
     )
@@ -310,6 +370,12 @@ def main(argv=None) -> int:
         metavar="PLAN.json",
         help="also run this fault-plan file as an extra scenario",
     )
+    chaos.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run scenarios with telemetry on; the results JSON gains "
+        "per-scenario event/journey summaries",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -320,6 +386,8 @@ def main(argv=None) -> int:
         return _cmd_run(list(REGISTRY), args.quick)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "sweep":

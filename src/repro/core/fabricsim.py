@@ -21,6 +21,8 @@ from repro.core.allocator import Allocation, Allocator
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles, quantum_cycles
 from repro.core.ring import RingGeometry
 from repro.core.token import RotatingToken
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import EV_XBAR_CONFIG
 
 #: A port source: called when the port's input queue is empty; returns
 #: (destination port, packet words) or None for "no packet right now".
@@ -307,6 +309,13 @@ class FabricSimulator:
         if quanta is None and min_packets is None:
             raise ValueError("need a stopping condition")
         stats = FabricStats(num_ports=self.ring.n, costs=self.costs)
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            tel.registry.gauge("fabric.clock", lambda: self.clock)
+            for p, q in enumerate(self._queues):
+                tel.registry.gauge(
+                    f"ingress.{p}.queue_depth", lambda q=q: len(q)
+                )
         done = 0
         while True:
             if quanta is not None and done >= quanta + warmup_quanta:
@@ -320,6 +329,8 @@ class FabricSimulator:
             measuring = done >= warmup_quanta
             self._step(source, stats if measuring else None)
             done += 1
+        if tel is not None:
+            tel.registry.snapshot(self.clock)
         return stats
 
     def _step(self, source: PortSource, stats: Optional[FabricStats]) -> None:
@@ -370,6 +381,15 @@ class FabricSimulator:
             self.token.advance()
             return
         alloc = self.allocator.allocate(requests, self.token.master)
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            tel.events.emit(
+                self.clock, EV_XBAR_CONFIG, "fabric",
+                (self.token.master,
+                 tuple(sorted((g.src, g.dst) for g in alloc.grants.values()))),
+            )
+            tel.registry.count("fabric.xbar_configs")
+            tel.registry.maybe_snapshot(self.clock)
         body = 0
         for grant in alloc.grants.values():
             frag = self._queues[grant.src][0]

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.telemetry import runtime as _telemetry
+
 
 class RotatingToken:
     """Plain token: mastership rotates one port per quantum."""
@@ -37,6 +39,9 @@ class RotatingToken:
         """Move mastership to the next downstream port; returns new master."""
         self._master = (self._master + 1) % self.n
         self.rotations += 1
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            tel.registry.count("fabric.tokens_passed")
         return self._master
 
     def reset(self, start: int = 0) -> None:
@@ -45,6 +50,9 @@ class RotatingToken:
         if not 0 <= start < self.n:
             raise ValueError("start port out of range")
         self._master = start
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            tel.registry.count("fabric.token_resets")
 
     def priority_order(self) -> List[int]:
         """Ports in decreasing priority for the current quantum."""
@@ -74,6 +82,9 @@ class WeightedToken(RotatingToken):
             self._master = (self._master + 1) % self.n
             self._remaining = self.weights[self._master]
             self.rotations += 1
+            tel = _telemetry.RECORDER
+            if tel is not None:
+                tel.registry.count("fabric.tokens_passed")
         return self._master
 
     def reset(self, start: int = 0) -> None:

@@ -83,13 +83,32 @@ def run(
     seed: int = 0,
     out: Optional[str] = DEFAULT_OUT,
     plan: Optional[str] = None,
+    telemetry: bool = False,
 ) -> ExperimentResult:
     """The resilience table: one row per chaos scenario.
 
     ``plan`` optionally names a fault-plan JSON file to run as an extra
     user scenario at fabric fidelity.  Writes the machine-readable table
     to ``out`` (schema ``repro-resilience/1``) unless ``out`` is None.
+    ``telemetry`` runs every scenario with the telemetry layer enabled
+    and attaches the aggregate event/journey summary to the table.
     """
+    if telemetry:
+        from repro.telemetry import runtime as _telemetry
+
+        with _telemetry.capture() as tel:
+            return _run_scenarios(quanta, packets, seed, out, plan, tel)
+    return _run_scenarios(quanta, packets, seed, out, plan, None)
+
+
+def _run_scenarios(
+    quanta: int,
+    packets: int,
+    seed: int,
+    out: Optional[str],
+    plan: Optional[str],
+    tel,
+) -> ExperimentResult:
     result = ExperimentResult(
         name="resilience",
         description="Chaos scenarios: MTTR (cycles), goodput, drop taxonomy",
@@ -290,6 +309,8 @@ def run(
             "scenarios": scenarios,
             "checks": checks,
         }
+        if tel is not None:
+            table["telemetry"] = tel.summary()
         with open(out, "w") as fh:
             json.dump(table, fh, indent=2)
             fh.write("\n")
@@ -297,9 +318,11 @@ def run(
 
 
 def run_quick(seed: int = 0, out: Optional[str] = DEFAULT_OUT,
-              plan: Optional[str] = None) -> ExperimentResult:
+              plan: Optional[str] = None,
+              telemetry: bool = False) -> ExperimentResult:
     """CI-smoke budget: same scenarios, ~5x shorter runs."""
-    return run(quanta=800, packets=600, seed=seed, out=out, plan=plan)
+    return run(quanta=800, packets=600, seed=seed, out=out, plan=plan,
+               telemetry=telemetry)
 
 
 def validate_results(path: str = DEFAULT_OUT) -> List[str]:

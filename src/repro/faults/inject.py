@@ -32,6 +32,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.faults.plan import WINDOW_KINDS, FaultEvent, FaultPlan
 from repro.metrics.resilience import ResilienceMetrics
 from repro.sim.channel import Channel
+from repro.sim.kernel import DOWN, STALLED
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import EV_FAULT_INJECT, EV_FAULT_RECOVER
 
 #: Timeline actions, in application order at a shared cycle: restores
 #: happen before new faults so back-to-back windows hand off cleanly.
@@ -107,6 +110,10 @@ class FaultInjector:
                 self._win_starts.append(ev.cycle)
                 self._win_ends.append(ev.end)
         self._timeline = self._build_timeline()
+        # Per-target end of the last fault interval recorded on the host
+        # trace; clamps flap plans so overlapping windows never record
+        # overlapping intervals (Trace.record rejects overlaps).
+        self._trace_ends: Dict[str, int] = {}
 
     # -- timeline -------------------------------------------------------
     def _build_timeline(self) -> List[Tuple[int, int, int, str, FaultEvent]]:
@@ -168,17 +175,24 @@ class FaultInjector:
             self._fire(sim, verb, ev, now)
 
     def _fire(self, sim, verb: str, ev: FaultEvent, now: int) -> None:
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            kind = EV_FAULT_RECOVER if verb == "up" else EV_FAULT_INJECT
+            tel.events.emit(now, kind, ev.target, ev.kind)
+            if verb != "up":
+                tel.registry.count(f"faults.{ev.kind}")
         if verb == "down":
             ch = self._channel_for(ev)
             if ch is not None:
-                ch.fault_down(ev.end)
+                ch.fault_down(ev.end, now)
             elif self._on_window is not None:
                 self._on_window(ev, now)
             self.metrics.record_fault(now, ev.kind, ev.target)
+            self._trace_window(sim, ev, now)
         elif verb == "up":
             ch = self._channel_for(ev)
             if ch is not None:
-                if ch.fault_restore():
+                if ch.fault_restore(now):
                     # Wake any putters/getters parked against the outage.
                     sim._service_channel(ch)
             elif self._on_window_end is not None:
@@ -204,6 +218,21 @@ class FaultInjector:
             self.metrics.record_fault(now, ev.kind, ev.target)
             if self._on_port_down is not None:
                 self._on_port_down(ev, now)
+
+    def _trace_window(self, sim, ev: FaultEvent, now: int) -> None:
+        """Record the fault window on the host trace so Fig 7-3-style
+        timelines render degraded links ("down") and overload/stall
+        windows ("stalled") distinctly."""
+        trace = getattr(sim, "trace", None)
+        if trace is None:
+            return
+        state = DOWN if ev.kind == "link_down" else STALLED
+        start = max(now, self._trace_ends.get(ev.target, 0))
+        end = ev.end
+        if end <= start:
+            return  # nested inside an already-recorded window
+        trace.record(ev.target, state, start, end)
+        self._trace_ends[ev.target] = end
 
     # -- burst fallback gate -------------------------------------------
     def burst_ok(self, now: int, span: int = 0) -> bool:

@@ -113,6 +113,20 @@ class ResilienceMetrics:
             return None
         return self.delivered_words / self.offered_words
 
+    def register_views(self, registry, prefix: str = "resilience") -> None:
+        """Expose the headline numbers as live gauges in a telemetry
+        :class:`~repro.telemetry.registry.MetricsRegistry` (callable
+        views over this dataclass; the public API is unchanged)."""
+        for name, fn in {
+            f"{prefix}.faults_injected": lambda: self.faults_injected,
+            f"{prefix}.faults_missed": lambda: self.faults_missed,
+            f"{prefix}.unrecovered": lambda: self.unrecovered,
+            f"{prefix}.total_drops": lambda: self.total_drops,
+            f"{prefix}.mttr_cycles": lambda: self.mttr_cycles,
+            f"{prefix}.goodput_ratio": lambda: self.goodput_ratio,
+        }.items():
+            registry.gauge(name, fn)
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "faults_injected": self.faults_injected,

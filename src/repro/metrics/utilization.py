@@ -14,13 +14,17 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.sim.kernel import BLOCKED_STATES, BUSY
+from repro.sim.kernel import BLOCKED_STATES, BUSY, DOWN, STALLED
 from repro.sim.trace import Trace
 
 #: Raster cell codes.
 IDLE_CODE = 0
 BUSY_CODE = 1
 BLOCKED_CODE = 2
+DOWN_CODE = 3
+STALLED_CODE = 4
+
+_FAULT_CODES = {DOWN: DOWN_CODE, STALLED: STALLED_CODE}
 
 
 @dataclass
@@ -31,10 +35,12 @@ class UtilizationSummary:
     window: int
     busy: int
     blocked: int
+    #: Cycles inside an injected fault window (link down / stalled tile).
+    faulted: int = 0
 
     @property
     def idle(self) -> int:
-        return max(0, self.window - self.busy - self.blocked)
+        return max(0, self.window - self.busy - self.blocked - self.faulted)
 
     @property
     def busy_frac(self) -> float:
@@ -60,7 +66,7 @@ def summarize_trace(
         raise ValueError("empty window")
     out: Dict[str, UtilizationSummary] = {}
     for key in trace.keys():
-        busy = blocked = 0
+        busy = blocked = faulted = 0
         for iv in trace.intervals(key):
             lo = max(iv.start, start)
             hi = min(iv.end, stop)
@@ -70,8 +76,11 @@ def summarize_trace(
                 busy += hi - lo
             elif iv.state in BLOCKED_STATES:
                 blocked += hi - lo
+            elif iv.state in _FAULT_CODES:
+                faulted += hi - lo
         out[key] = UtilizationSummary(
-            key=key, window=stop - start, busy=busy, blocked=blocked
+            key=key, window=stop - start, busy=busy, blocked=blocked,
+            faulted=faulted,
         )
     return out
 
@@ -92,8 +101,11 @@ def state_matrix(
             hi = min(iv.end, stop) - start
             if hi <= lo:
                 continue
-            code = BUSY_CODE if iv.state == BUSY else (
-                BLOCKED_CODE if iv.state in BLOCKED_STATES else IDLE_CODE
-            )
+            if iv.state == BUSY:
+                code = BUSY_CODE
+            elif iv.state in BLOCKED_STATES:
+                code = BLOCKED_CODE
+            else:
+                code = _FAULT_CODES.get(iv.state, IDLE_CODE)
             mat[row, lo:hi] = code
     return mat

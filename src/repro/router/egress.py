@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Dict, Generator
 
 from repro.sim.kernel import BUSY, Get, Timeout
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import EV_PKT_DEPART, EV_PKT_DROP
 
 
 class EgressProcessor:
@@ -25,6 +27,8 @@ class EgressProcessor:
         router = self.router
         queue = router.egress_queues[self.port]
         stats = router.stats
+        tel = _telemetry.RECORDER
+        port_s = f"port{self.port}"
         while True:
             frag = yield Get(queue)
             pid = id(frag.packet)
@@ -41,10 +45,21 @@ class EgressProcessor:
                 if not pkt.checksum_ok():
                     stats.corrupt_drops += 1
                     router.resilience.record_drop("corrupt")
+                    if tel is not None:
+                        tel.journeys.drop(pid, "corrupt", router.sim.now)
+                        tel.events.emit(
+                            router.sim.now, EV_PKT_DROP, port_s, "corrupt"
+                        )
+                        tel.registry.count("drops.corrupt")
                     continue
             # Stream the complete packet to the line card: 1 word/cycle.
             yield Timeout(pkt.total_words, BUSY)
             pkt.departure_cycle = router.sim.now
+            if tel is not None:
+                tel.journeys.depart(pid, router.sim.now)
+                tel.events.emit(
+                    router.sim.now, EV_PKT_DEPART, port_s, pkt.total_length
+                )
             stats.record_delivery(
                 router.sim.now, self.port, pkt.total_length, pkt.input_port
             )

@@ -17,6 +17,8 @@ from typing import Generator, List, Optional
 from repro.core.phases import idle_quantum_cycles, quantum_cycles
 from repro.router.frags import QuantumFragment
 from repro.sim.kernel import BUSY, Get, Put, Timeout
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import EV_PKT_HOP, EV_TOKEN_PASS, EV_XBAR_CONFIG
 
 
 class RotatingCrossbarFabric:
@@ -84,6 +86,7 @@ class RotatingCrossbarFabric:
         timing = router.timing
         n = router.num_ports
         transform = router.transform
+        tel = _telemetry.RECORDER
 
         while True:
             if router.faults_on:
@@ -106,6 +109,9 @@ class RotatingCrossbarFabric:
                 stats.idle_quanta += 1
                 yield Timeout(idle_quantum_cycles(timing), BUSY)
                 token.advance()
+                if tel is not None:
+                    tel.events.emit(sim.now, EV_TOKEN_PASS, "fabric", token.master)
+                    tel.registry.maybe_snapshot(sim.now)
                 ready, _ = sim.peek(router.fabric_wake)
                 if ready:
                     sim.try_get(router.fabric_wake)
@@ -132,6 +138,13 @@ class RotatingCrossbarFabric:
             stats.quanta += 1
             stats.blocked_grants += len(alloc.blocked)
             stats.grant_histogram[alloc.num_granted] += 1
+            if tel is not None:
+                tel.events.emit(
+                    sim.now, EV_XBAR_CONFIG, "fabric",
+                    (token.master,
+                     tuple(sorted((g.src, g.dst) for g in alloc.grants.values()))),
+                )
+                tel.registry.count("fabric.xbar_configs")
             yield Timeout(duration, BUSY)
 
             for grant in alloc.grants.values():
@@ -149,4 +162,10 @@ class RotatingCrossbarFabric:
                     )
                 # Blocks when the egress queue is full: output blocking.
                 yield Put(router.egress_queues[grant.dst], frag)
+                if tel is not None:
+                    tel.journeys.hop(id(frag.packet), sim.now)
+                    tel.events.emit(sim.now, EV_PKT_HOP, "fabric", grant.dst)
             token.advance()
+            if tel is not None:
+                tel.events.emit(sim.now, EV_TOKEN_PASS, "fabric", token.master)
+                tel.registry.maybe_snapshot(sim.now)

@@ -17,6 +17,13 @@ from repro.ip.packet import IPv4Packet
 from repro.router.frags import fragment_packet
 from repro.sim.channel import Channel
 from repro.sim.kernel import BUSY, Get, Put, Timeout
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import (
+    EV_PKT_ARRIVE,
+    EV_PKT_DROP,
+    EV_PKT_ENQUEUE,
+    EV_PKT_LOOKUP,
+)
 
 #: Supplies the next packet for a port, or None when the source is done.
 PacketSupply = Callable[[], Optional[IPv4Packet]]
@@ -43,6 +50,8 @@ class IngressProcessor:
     def run(self) -> Generator:
         router = self.router
         stats = router.stats
+        tel = _telemetry.RECORDER
+        port_s = f"port{self.port}"
         while True:
             if self.supply is not None:
                 pkt = self.supply()
@@ -55,6 +64,11 @@ class IngressProcessor:
             self.packets_in += 1
             if pkt.arrival_cycle < 0:
                 pkt.arrival_cycle = router.sim.now
+            if tel is not None:
+                tel.journeys.arrive(id(pkt), self.port, router.sim.now)
+                tel.events.emit(
+                    router.sim.now, EV_PKT_ARRIVE, port_s, pkt.total_length
+                )
             words = pkt.total_words
             if router.faults_on:
                 router.resilience.offered_words += words
@@ -69,14 +83,20 @@ class IngressProcessor:
             # Functional header path: these really run on the packet.
             if not pkt.checksum_ok():
                 stats.checksum_drops += 1
+                if tel is not None:
+                    self._drop(tel, pkt, "checksum", router.sim.now)
                 continue
             if pkt.ttl <= 1:
                 stats.ttl_drops += 1
+                if tel is not None:
+                    self._drop(tel, pkt, "ttl", router.sim.now)
                 continue
             pkt.decrement_ttl()
             out_port = router.table.lookup(pkt.dst)
             if out_port is None or not 0 <= out_port < router.num_ports:
                 stats.ttl_drops += 1  # unroutable; folded into drop count
+                if tel is not None:
+                    self._drop(tel, pkt, "unroutable", router.sim.now)
                 continue
             if router.faults_on and router.degraded.any_dead:
                 # Degraded mode: the routing layer has reconverged around
@@ -85,9 +105,32 @@ class IngressProcessor:
                 if out_port is None:  # every port is dead
                     stats.dead_port_drops += 1
                     router.resilience.record_drop("dead_port")
+                    if tel is not None:
+                        self._drop(tel, pkt, "dead_port", router.sim.now)
                     continue
             pkt.output_port = out_port
+            if tel is not None:
+                tel.journeys.lookup(
+                    id(pkt), out_port, pkt.total_length, router.sim.now
+                )
+                tel.events.emit(
+                    router.sim.now, EV_PKT_LOOKUP, port_s, out_port
+                )
 
+            first = True
             for frag in fragment_packet(pkt, out_port, router.max_quantum_words):
                 yield Put(router.input_queues[self.port], frag)
+                if first:
+                    first = False
+                    if tel is not None:
+                        tel.journeys.enqueue(id(pkt), router.sim.now)
+                        tel.events.emit(
+                            router.sim.now, EV_PKT_ENQUEUE, port_s, out_port
+                        )
                 router.sim.try_put(router.fabric_wake, 1)
+
+    @staticmethod
+    def _drop(tel, pkt, cause: str, now: int) -> None:
+        tel.journeys.drop(id(pkt), cause, now)
+        tel.events.emit(now, EV_PKT_DROP, f"port{pkt.input_port}", cause)
+        tel.registry.count(f"drops.{cause}")

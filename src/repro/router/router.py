@@ -41,6 +41,7 @@ from repro.router.linecard import LineCardSource
 from repro.router.stats import RouterStats
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Trace
+from repro.telemetry import runtime as _telemetry
 from repro.traffic.workload import PacketFactory, Workload
 
 
@@ -124,6 +125,18 @@ class RawRouter:
         self._fabric_started = False
         self._attached = False
 
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            for p, q in enumerate(self.input_queues):
+                tel.registry.gauge(
+                    f"ingress.{p}.queue_depth", lambda q=q: q.occupancy
+                )
+            for p, q in enumerate(self.egress_queues):
+                tel.registry.gauge(
+                    f"egress.{p}.queue_depth", lambda q=q: q.occupancy
+                )
+            self.stats.register_views(tel.registry)
+
         # Fault-injection state: all None/False until install_faults(),
         # so the fault-free pipeline takes zero extra branches that matter.
         self.faults_on = False
@@ -172,6 +185,9 @@ class RawRouter:
         if self._attached:
             raise RuntimeError("install_faults() must precede source attach")
         self.resilience = metrics if metrics is not None else ResilienceMetrics()
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            self.resilience.register_views(tel.registry)
         self.degraded = DegradedRouting(self.num_ports, self.resilience)
         self.token_recovery = TokenRecovery(self.num_ports, self.resilience)
         registry = {}

@@ -102,3 +102,28 @@ class RouterStats:
         if total == 0:
             return [0.0] * self.num_ports
         return [b / total for b in self.per_input_bits]
+
+    # ------------------------------------------------------------------
+    def register_views(self, registry, prefix: str = "router") -> None:
+        """Expose these tallies as live gauges in a telemetry
+        :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+        The registry holds callables reading this dataclass, so the
+        public fields stay the single source of truth (and their values
+        bit-identical) while every number gains a flat queryable name.
+        """
+        views = {
+            f"{prefix}.delivered_packets": lambda: self.delivered_packets,
+            f"{prefix}.quanta": lambda: self.quanta,
+            f"{prefix}.idle_quanta": lambda: self.idle_quanta,
+            f"{prefix}.blocked_grants": lambda: self.blocked_grants,
+            f"{prefix}.drops.line": lambda: self.line_drops,
+            f"{prefix}.drops.checksum": lambda: self.checksum_drops,
+            f"{prefix}.drops.ttl": lambda: self.ttl_drops,
+            f"{prefix}.drops.corrupt": lambda: self.corrupt_drops,
+            f"{prefix}.drops.dead_port": lambda: self.dead_port_drops,
+        }
+        for p in range(self.num_ports):
+            views[f"{prefix}.{p}.delivered"] = lambda p=p: self.per_port_delivered[p]
+        for name, fn in views.items():
+            registry.gauge(name, fn)

@@ -43,6 +43,17 @@ from repro.sim.kernel import (
     Timeout,
 )
 from repro.sim.trace import Trace
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import (
+    EV_PKT_ARRIVE,
+    EV_PKT_DEPART,
+    EV_PKT_DROP,
+    EV_PKT_ENQUEUE,
+    EV_PKT_HOP,
+    EV_PKT_LOOKUP,
+    EV_TOKEN_PASS,
+    EV_XBAR_CONFIG,
+)
 
 #: Tile-processor cycles each Crossbar Processor spends computing the
 #: jump-table index after the header exchange -- the same budget as
@@ -262,11 +273,20 @@ class WordLevelRouter:
     def _ingress(self, port: int) -> Generator:
         """Ingress Processor: prep packets, follow the quantum protocol."""
         cache = self.chip.caches[ROUTER_LAYOUT[port].ingress]
+        sim = self.chip.sim
+        tel = _telemetry.RECORDER
+        port_s = f"port{port}"
         buf_addr = 0
         pending: Optional[Tuple[int, List[object]]] = None  # (dest, body words)
+        announced = False
         while True:
             if pending is None:
                 dest, pkt = self.source(port)
+                if tel is not None:
+                    tel.journeys.arrive(id(pkt), port, sim.now)
+                    tel.events.emit(
+                        sim.now, EV_PKT_ARRIVE, port_s, pkt.total_length
+                    )
                 # Route lookup on the neighboring Lookup Processor; the
                 # reply carries the output port (here verified against
                 # the traffic intent by the lookup program itself).
@@ -275,7 +295,14 @@ class WordLevelRouter:
                 dest = looked_up if looked_up is not None else dest
                 yield Timeout(self.costs.ingress_header_cycles, BUSY)
                 if not pkt.checksum_ok():
+                    if tel is not None:
+                        tel.journeys.drop(id(pkt), "checksum", sim.now)
+                        tel.events.emit(sim.now, EV_PKT_DROP, port_s, "checksum")
+                        tel.registry.count("drops.checksum")
                     continue
+                if tel is not None:
+                    tel.journeys.lookup(id(pkt), dest, pkt.total_length, sim.now)
+                    tel.events.emit(sim.now, EV_PKT_LOOKUP, port_s, dest)
                 pkt.decrement_ttl()
                 words = pkt.to_words()
                 nwords = len(words)
@@ -301,12 +328,22 @@ class WordLevelRouter:
                 if self.resilience is not None:
                     self.resilience.offered_words += nwords
                 pending = (dest, [meta] + words[1:])
+                announced = False
             dest, body = pending
             yield Put(self.in_link[port], _Header(dest=dest, words=len(body)))
             yield Put(self.in_link[port], 0)  # header pad word
+            if tel is not None and not announced:
+                # First header offer = fabric-entry mark; re-offers after
+                # a denied grant repeat the protocol, not the journey.
+                announced = True
+                tel.journeys.enqueue(id(pkt), sim.now)
+                tel.events.emit(sim.now, EV_PKT_ENQUEUE, port_s, dest)
             yield Timeout(2, BUSY)  # the two header sends are instructions
             granted = yield Get(self.grant_link[port])
             if granted:
+                if tel is not None:
+                    tel.journeys.hop(id(pkt), sim.now)
+                    tel.events.emit(sim.now, EV_PKT_HOP, port_s, dest)
                 # Each word is a register-mapped load-and-send
                 # (``lw $csto, 0(r)``): one instruction per word, so the
                 # streaming shows up as busy cycles in the Fig 7-3 trace;
@@ -338,6 +375,10 @@ class WordLevelRouter:
     def _crossbar(self, ring_index: int) -> Generator:
         """Crossbar Processor: header exchange + distributed allocation."""
         i = ring_index
+        sim = self.chip.sim
+        # Every tile computes the identical allocation; ring tile 0 alone
+        # reports it so the telemetry stream is not quadruplicated.
+        tel = _telemetry.RECORDER if i == 0 else None
         token = 0
         while True:
             # Own header arrives via the switch ($csti).
@@ -361,12 +402,25 @@ class WordLevelRouter:
             requests = tuple(headers[p].dest for p in range(4))
             words_by_src = {p: headers[p].words for p in range(4)}
             alloc = self.allocator.allocate(requests, token)
+            if tel is not None:
+                tel.events.emit(
+                    sim.now, EV_XBAR_CONFIG, "fabric",
+                    (token,
+                     tuple(sorted((g.src, g.dst) for g in alloc.grants.values()))),
+                )
+                tel.registry.count("fabric.xbar_configs")
             granted = i in alloc.grants
             yield Put(self.grant_link[i], 1 if granted else 0)
             program = self._body_instructions(alloc, words_by_src, i)
             yield Put(self.cfg_chan[i], program)
             yield Get(self.done_chan[i])
             token = (token + 1) % 4
+            if tel is not None:
+                # The word-level token is a per-tile local int, so the
+                # pass is counted here rather than in core.token.
+                tel.registry.count("fabric.tokens_passed")
+                tel.events.emit(sim.now, EV_TOKEN_PASS, "fabric", token)
+                tel.registry.maybe_snapshot(sim.now)
 
     def _crossbar_switch(self, ring_index: int) -> Generator:
         """Switch Processor: fixed header program + per-quantum body."""
@@ -503,6 +557,9 @@ class WordLevelRouter:
 
     def _line_sink(self, port: int) -> Generator:
         """Off-chip line card: delimit packets, count deliveries."""
+        sim = self.chip.sim
+        tel = _telemetry.RECORDER
+        port_s = f"port{port}"
         while True:
             meta = yield Get(self.line_out[port])
             if not isinstance(meta, _FragMeta):
@@ -525,10 +582,20 @@ class WordLevelRouter:
                         # the packet is discarded, not delivered.
                         self.corrupt_drops += 1
                         self.resilience.record_drop("corrupt")
+                        if tel is not None:
+                            tel.journeys.drop(id(meta.packet), "corrupt", sim.now)
+                            tel.events.emit(
+                                sim.now, EV_PKT_DROP,
+                                f"port{meta.src_port}", "corrupt",
+                            )
+                            tel.registry.count("drops.corrupt")
                         continue
             self.delivered_packets += 1
             self.delivered_words += meta.nwords
             self.per_port_packets[port] += 1
+            if tel is not None:
+                tel.journeys.depart(id(meta.packet), sim.now)
+                tel.events.emit(sim.now, EV_PKT_DEPART, port_s, meta.nbytes)
             if self.resilience is not None:
                 self.resilience.delivered_words += meta.nwords
 

@@ -29,6 +29,8 @@ from repro.sim.kernel import (
     TX_BLOCK,
     RX_BLOCK,
     MEM_BLOCK,
+    DOWN,
+    STALLED,
 )
 from repro.sim.channel import Channel
 from repro.sim.trace import Trace, Interval
@@ -52,4 +54,6 @@ __all__ = [
     "TX_BLOCK",
     "RX_BLOCK",
     "MEM_BLOCK",
+    "DOWN",
+    "STALLED",
 ]

@@ -15,6 +15,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Tuple
 
+from repro.telemetry import runtime as _telemetry
+from repro.telemetry.events import EV_LINK_DOWN, EV_LINK_UP
+
 
 class Channel:
     """Bounded FIFO with propagation latency and blocking semantics.
@@ -124,12 +127,13 @@ class Channel:
     def fault_active(self) -> bool:
         return self._fault_capacity is not None
 
-    def fault_down(self, until: int) -> None:
+    def fault_down(self, until: int, now: int = -1) -> None:
         """Take the link down: no word enters or leaves before ``until``.
 
         Words already in the link stage are held (they re-arrive when the
         link comes back, modeling a stalled wire, not a lossy one);
-        putters back-pressure against the zeroed capacity.
+        putters back-pressure against the zeroed capacity.  ``now`` is
+        only used to cycle-stamp the telemetry event.
         """
         if self._fault_capacity is None:
             self._fault_capacity = self.capacity
@@ -138,8 +142,12 @@ class Channel:
             self._items = deque(
                 (max(ready, until), value) for ready, value in self._items
             )
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            tel.events.emit(now, EV_LINK_DOWN, self.name, until)
+            tel.registry.count("channel.link_downs")
 
-    def fault_restore(self) -> bool:
+    def fault_restore(self, now: int = -1) -> bool:
         """Bring the link back up; True if it was actually down.
 
         The caller (the injector) must re-service the channel so parked
@@ -149,6 +157,9 @@ class Channel:
             return False
         self.capacity = self._fault_capacity
         self._fault_capacity = None
+        tel = _telemetry.RECORDER
+        if tel is not None:
+            tel.events.emit(now, EV_LINK_UP, self.name, None)
         return True
 
     def fault_corrupt_head(self, mutate) -> Tuple[bool, Any]:

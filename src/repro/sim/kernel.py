@@ -48,6 +48,7 @@ from typing import Any, Deque, Dict, Generator, List, Optional, Sequence, Tuple
 from repro.sim.channel import Channel
 from repro.sim.errors import DeadlockError, SimulationError
 from repro.sim.trace import Trace
+from repro.telemetry import runtime as _telemetry
 
 # Canonical trace states (thesis Fig 7-3 distinguishes computing from
 # "blocked on transmit, receive, or cache miss").
@@ -57,7 +58,13 @@ TX_BLOCK = "tx"
 RX_BLOCK = "rx"
 MEM_BLOCK = "mem"
 
+# Fault-window states recorded by the injector (repro.faults): a link or
+# port held down by a fault, or stalled by an overload window.
+DOWN = "down"
+STALLED = "stalled"
+
 BLOCKED_STATES = frozenset({TX_BLOCK, RX_BLOCK, MEM_BLOCK})
+FAULT_STATES = frozenset({DOWN, STALLED})
 
 #: Calendar-wheel horizon in cycles.  The kernel's event pattern is
 #: overwhelmingly near-future (hop latency 1, per-word gaps 1, control
@@ -298,6 +305,14 @@ class Simulator:
         #: burst steps.  Monotonic across runs; the bench harness
         #: divides it by wall time.
         self.events_processed: int = 0
+        # Telemetry recorder captured at construction (None when
+        # disabled); the hot loops guard every use with one truthiness
+        # check so disabled-mode runs are bit-identical.
+        self._tel = _telemetry.RECORDER
+        if self._tel is not None:
+            self._tel.registry.gauge(
+                "kernel.events_dispatched", lambda: self.events_processed
+            )
         # Calendar wheel: one bucket per cycle within the horizon, plus
         # a heap for far-future events.  Bucket entries are
         # (kind, payload, value); append order *is* schedule order, which
@@ -854,6 +869,7 @@ class Simulator:
         gen = proc.gen
         send = gen.send
         now = self.now
+        tel = self._tel
         while True:
             try:
                 cmd = gen.send(send_value)
@@ -869,6 +885,10 @@ class Simulator:
                 raise SimulationError(
                     f"process {proc.name!r} yielded unsupported command {cmd!r}"
                 ) from None
+
+            if tel is not None:
+                # Command tags index telemetry's CMD_NAMES directly.
+                tel.kernel.cmd_counts[kind] += 1
 
             if kind == 1:  # Put
                 ch = cmd.channel
@@ -969,6 +989,7 @@ class Simulator:
         wheel = self._wheel
         far = self._far
         trace = self.trace
+        tel = self._tel
         ep = self.events_processed
         try:
             while True:
@@ -1040,7 +1061,19 @@ class Simulator:
                     # Far entries were scheduled >= WHEEL_CYCLES before
                     # t, wheel entries within the last WHEEL_CYCLES, so
                     # spill-then-bucket is global FIFO order.
+                    if tel is not None:
+                        tel.kernel.far_spills += len(spill)
                     bucket = spill + bucket if bucket else spill
+
+                if tel is not None:
+                    prof = tel.kernel
+                    n = len(bucket)
+                    prof.bucket_drains += 1
+                    prof.bucket_events += n
+                    if n > prof.bucket_peak:
+                        prof.bucket_peak = n
+                    if self._wheel_count > prof.wheel_peak:
+                        prof.wheel_peak = self._wheel_count
 
                 for ev in bucket:
                     ep += 1

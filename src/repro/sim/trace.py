@@ -9,6 +9,7 @@ metrics (:mod:`repro.metrics.utilization`) and the ASCII timeline renderer
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from collections import defaultdict
 from typing import Dict, List
@@ -46,6 +47,13 @@ class Trace:
         self._by_key: Dict[str, List[Interval]] = defaultdict(list)
 
     def record(self, key: str, state: str, start: int, end: int) -> None:
+        """Record ``[start, end)`` in ``state`` for ``key``.
+
+        Raises ValueError if the span overlaps an interval already
+        recorded for the same key: a process cannot be in two states at
+        once, and accepting the overlap would silently double-count
+        ``time_in_state``.
+        """
         if end <= start:
             return
         if self.stop is not None:
@@ -55,13 +63,33 @@ class Trace:
             end = min(end, self.stop)
         intervals = self._by_key[key]
         if intervals:
-            # Coalesce with a contiguous same-state predecessor, so a
-            # per-word loop (many length-1 busy spans) and the equivalent
-            # burst (one span) leave identical traces.
             last = intervals[-1]
-            if last.state == state and last.end == start:
-                intervals[-1] = Interval(key, state, last.start, end)
+            if start >= last.end:
+                # Fast path: in-order recording (the kernel's only case).
+                # Coalesce with a contiguous same-state predecessor, so a
+                # per-word loop (many length-1 busy spans) and the
+                # equivalent burst (one span) leave identical traces.
+                if last.state == state and last.end == start:
+                    intervals[-1] = Interval(key, state, last.start, end)
+                else:
+                    intervals.append(Interval(key, state, start, end))
                 return
+            # Out-of-order recording: intervals are kept sorted by start
+            # (appends above preserve this), so a sorted insert with
+            # neighbor checks catches any overlap.
+            i = bisect_left(intervals, start, key=lambda iv: iv.start)
+            if i > 0 and intervals[i - 1].end > start:
+                raise ValueError(
+                    f"interval overlap for {key!r}: [{start}, {end}) in "
+                    f"{state!r} overlaps recorded {intervals[i - 1]}"
+                )
+            if i < len(intervals) and intervals[i].start < end:
+                raise ValueError(
+                    f"interval overlap for {key!r}: [{start}, {end}) in "
+                    f"{state!r} overlaps recorded {intervals[i]}"
+                )
+            intervals.insert(i, Interval(key, state, start, end))
+            return
         intervals.append(Interval(key, state, start, end))
 
     def keys(self) -> List[str]:

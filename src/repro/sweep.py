@@ -127,15 +127,29 @@ def build_cell(
 # ---------------------------------------------------------------------------
 # Worker entry point (must be importable for multiprocessing pickling).
 # ---------------------------------------------------------------------------
-def _run_cell(payload: Tuple[Dict[str, Any], SimConfig, WorkloadSpec]) -> Dict[str, Any]:
-    cell, config, workload = payload
-    result = run_config(config, workload)
+def _run_cell(
+    payload: Tuple[Dict[str, Any], SimConfig, WorkloadSpec, bool]
+) -> Dict[str, Any]:
+    cell, config, workload, telemetry = payload
+    if telemetry:
+        # Enabled per worker process: the recorder is process-global, and
+        # pool workers run one cell at a time.
+        from repro.telemetry import runtime as _telemetry
+
+        with _telemetry.capture() as tel:
+            result = run_config(config, workload)
+            summary = tel.summary()
+    else:
+        result = run_config(config, workload)
+        summary = None
     row = {
         "cell": cell,
         "seed": config.seed,
         "worker_pid": os.getpid(),
         "result": result.to_dict(),
     }
+    if summary is not None:
+        row["telemetry"] = summary
     return row
 
 
@@ -145,16 +159,20 @@ def run_sweep(
     base_config: Optional[SimConfig] = None,
     base_workload: Optional[WorkloadSpec] = None,
     base_seed: int = 0,
+    telemetry: bool = False,
 ) -> Dict[str, Any]:
     """Run every cell of ``grid``; returns the JSON-ready results table.
 
     ``workers > 1`` fans cells across a ``multiprocessing`` pool
     (chunksize 1, so short grids still spread over the pool); the row
     order always matches :func:`expand_grid` regardless of scheduling.
+    ``telemetry`` records each cell with the telemetry layer enabled and
+    attaches its :meth:`~repro.telemetry.runtime.Telemetry.summary` to
+    the row.
     """
     cells = expand_grid(grid)
     payloads = [
-        (cell, *build_cell(cell, base_config, base_workload, base_seed))
+        (cell, *build_cell(cell, base_config, base_workload, base_seed), telemetry)
         for cell in cells
     ]
     if workers > 1 and len(cells) > 1:
@@ -170,6 +188,7 @@ def run_sweep(
             "cells": len(cells),
             "workers": workers,
             "base_seed": base_seed,
+            "telemetry": telemetry,
             "worker_pids": sorted({r["worker_pid"] for r in rows}),
         },
         "rows": rows,

@@ -1,0 +1,32 @@
+"""Unified telemetry layer: event tracing, packet journeys, metrics
+registry, and kernel self-profiling.
+
+Disabled by default; ``runtime.enable()`` (or the ``repro trace`` CLI /
+``--telemetry`` flags) installs a module-level recorder that every
+instrumented site guards with one truthiness check.  See DESIGN.md §9.
+"""
+
+from .events import EventLog, KIND_NAMES
+from .export import canonical, chrome_trace, validate_chrome_trace
+from .journey import JourneyTracker, PacketJourney
+from .profile import KernelProfile
+from .registry import LogHistogram, MetricsRegistry
+from .runtime import Telemetry, capture, disable, enable, get
+
+__all__ = [
+    "EventLog",
+    "KIND_NAMES",
+    "JourneyTracker",
+    "PacketJourney",
+    "KernelProfile",
+    "LogHistogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "capture",
+    "disable",
+    "enable",
+    "get",
+    "chrome_trace",
+    "canonical",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,114 @@
+"""Structured event tracing: a ring-buffered log of typed, cycle-stamped
+events.
+
+Every instrumented site in the kernel, the channels, the router stages,
+the token, and the fault injector emits through the module-level recorder
+(:mod:`repro.telemetry.runtime`); with telemetry disabled the recorder is
+``None`` and nothing here ever runs.  Events are small tuples -- no
+objects allocated on the hot path beyond the tuple itself -- and the ring
+overwrites the oldest entries once ``capacity`` is exceeded, so a
+million-packet run costs bounded memory.  Total per-kind counts are kept
+separately and never wrap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple
+
+# Event kinds: dense small integers (list indices in per-kind counters).
+EV_PKT_ARRIVE = 0  #: packet arrived at an ingress port
+EV_PKT_LOOKUP = 1  #: route lookup completed
+EV_PKT_ENQUEUE = 2  #: first fragment entered the fabric input queue
+EV_PKT_HOP = 3  #: a fragment was granted and crossed the fabric
+EV_PKT_DEPART = 4  #: packet fully streamed to the output line
+EV_PKT_DROP = 5  #: packet dropped (data = cause string)
+EV_TOKEN_PASS = 6  #: rotating token advanced (data = new master)
+EV_TOKEN_RESET = 7  #: token regenerated after loss (data = new master)
+EV_XBAR_CONFIG = 8  #: crossbar reconfigured (data = (master, grants))
+EV_FAULT_INJECT = 9  #: fault applied (data = fault kind)
+EV_FAULT_RECOVER = 10  #: fault window closed / recovery completed
+EV_LINK_DOWN = 11  #: a channel's link went down (data = restore cycle)
+EV_LINK_UP = 12  #: a channel's link restored
+
+KIND_NAMES = (
+    "pkt.arrive",
+    "pkt.lookup",
+    "pkt.enqueue",
+    "pkt.hop",
+    "pkt.depart",
+    "pkt.drop",
+    "token.pass",
+    "token.reset",
+    "xbar.config",
+    "fault.inject",
+    "fault.recover",
+    "link.down",
+    "link.up",
+)
+
+N_KINDS = len(KIND_NAMES)
+
+
+class Event(NamedTuple):
+    """One recorded event; ``seq`` is the global emission index."""
+
+    seq: int
+    cycle: int
+    kind: int
+    subject: str
+    data: Any
+
+    @property
+    def name(self) -> str:
+        return KIND_NAMES[self.kind]
+
+
+class EventLog:
+    """Fixed-capacity ring of events plus total per-kind counts."""
+
+    __slots__ = ("capacity", "_ring", "_emitted", "kind_counts")
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: List[Any] = [None] * capacity
+        self._emitted = 0
+        #: Total events ever emitted per kind (never wraps with the ring).
+        self.kind_counts: List[int] = [0] * N_KINDS
+
+    # -- the hot path ---------------------------------------------------
+    def emit(self, cycle: int, kind: int, subject: str = "", data: Any = None) -> None:
+        i = self._emitted
+        self._ring[i % self.capacity] = (i, cycle, kind, subject, data)
+        self._emitted = i + 1
+        self.kind_counts[kind] += 1
+
+    # -- introspection --------------------------------------------------
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (including overwritten ones)."""
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by ring wrap-around."""
+        return max(0, self._emitted - self.capacity)
+
+    def __len__(self) -> int:
+        return min(self._emitted, self.capacity)
+
+    def events(self) -> List[Event]:
+        """Retained events, oldest first."""
+        n = self._emitted
+        if n <= self.capacity:
+            raw = self._ring[:n]
+        else:
+            split = n % self.capacity
+            raw = self._ring[split:] + self._ring[:split]
+        return [Event(*entry) for entry in raw]
+
+    def counts_by_name(self) -> Dict[str, int]:
+        return {
+            KIND_NAMES[k]: c for k, c in enumerate(self.kind_counts) if c
+        }

@@ -1,0 +1,193 @@
+"""Packet journeys: per-packet lifecycle derived from the event stream.
+
+A journey is ingress arrival -> route lookup -> fabric entry -> per-hop
+traversal -> egress departure.  The tracker keys in-flight packets by
+``id(pkt)`` (object identity; packet ids are not globally unique across
+ports) and assigns its own sequential journey ids.  Stage latencies feed
+fixed-size log-bucketed histograms (:class:`~repro.telemetry.registry.
+LogHistogram`) -- never per-packet Python lists at scale -- and the first
+``detail_limit`` completed journeys keep their full mark lists so any of
+them can be drilled into as a :class:`PacketJourney`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import LogHistogram
+
+STAGES = ("ingress", "fabric", "egress", "total")
+
+#: Cap on concurrently tracked packets; fragments drained by dead-port
+#: faults never reach egress, so without a cap the live map would leak.
+LIVE_CAP = 8192
+
+
+class _Live:
+    """Scalar per-packet state while the packet is in flight."""
+
+    __slots__ = ("jid", "src", "dst", "size", "arrive", "lookup",
+                 "enqueue", "hops", "last_hop")
+
+    def __init__(self, jid: int, src: int, cycle: int):
+        self.jid = jid
+        self.src = src
+        self.dst = -1
+        self.size = 0
+        self.arrive = cycle
+        self.lookup = -1
+        self.enqueue = -1
+        self.hops = 0
+        self.last_hop = -1
+
+
+@dataclass
+class PacketJourney:
+    """Drill-down view of one completed (or dropped) packet lifecycle."""
+
+    jid: int
+    src: int
+    dst: int
+    size_bytes: int
+    arrive: int
+    depart: int
+    outcome: str  # "delivered" or the drop cause
+    hops: int
+    marks: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def latency(self) -> int:
+        return self.depart - self.arrive
+
+    def stage_latencies(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        by_name = dict(self.marks)
+        enq = by_name.get("enqueue")
+        if enq is not None:
+            out["ingress"] = enq - self.arrive
+            last_hop = by_name.get("last_hop")
+            if last_hop is not None:
+                out["fabric"] = last_hop - enq
+                if self.outcome == "delivered":
+                    out["egress"] = self.depart - last_hop
+        out["total"] = self.latency
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "jid": self.jid,
+            "src": self.src,
+            "dst": self.dst,
+            "size_bytes": self.size_bytes,
+            "arrive": self.arrive,
+            "depart": self.depart,
+            "outcome": self.outcome,
+            "hops": self.hops,
+            "marks": [[name, cycle] for name, cycle in self.marks],
+            "stages": self.stage_latencies(),
+        }
+
+
+class JourneyTracker:
+    """Builds journeys and stage histograms from instrumentation calls."""
+
+    def __init__(self, detail_limit: int = 64):
+        self._live: Dict[int, _Live] = {}
+        self._next_jid = 0
+        self.detail_limit = detail_limit
+        self.detailed: List[PacketJourney] = []
+        self.completed = 0
+        self.dropped = 0
+        self.evicted = 0
+        self.stage_hist: Dict[str, LogHistogram] = {
+            s: LogHistogram() for s in STAGES
+        }
+
+    # -- lifecycle marks (hot path; all O(1)) ---------------------------
+    def arrive(self, key: int, src: int, cycle: int) -> None:
+        if len(self._live) >= LIVE_CAP:
+            # Evict the oldest entry; its packet will never complete.
+            self._live.pop(next(iter(self._live)))
+            self.evicted += 1
+        self._live[key] = _Live(self._next_jid, src, cycle)
+        self._next_jid += 1
+
+    def lookup(self, key: int, dst: int, size: int, cycle: int) -> None:
+        lv = self._live.get(key)
+        if lv is not None:
+            lv.lookup = cycle
+            lv.dst = dst
+            lv.size = size
+
+    def enqueue(self, key: int, cycle: int) -> None:
+        lv = self._live.get(key)
+        if lv is not None and lv.enqueue < 0:
+            lv.enqueue = cycle
+
+    def hop(self, key: int, cycle: int) -> None:
+        lv = self._live.get(key)
+        if lv is not None:
+            lv.hops += 1
+            lv.last_hop = cycle
+
+    def depart(self, key: int, cycle: int) -> None:
+        lv = self._live.pop(key, None)
+        if lv is None:
+            return
+        self.completed += 1
+        hist = self.stage_hist
+        if lv.enqueue >= 0:
+            hist["ingress"].record(lv.enqueue - lv.arrive)
+            if lv.last_hop >= 0:
+                hist["fabric"].record(lv.last_hop - lv.enqueue)
+                hist["egress"].record(cycle - lv.last_hop)
+        hist["total"].record(cycle - lv.arrive)
+        if len(self.detailed) < self.detail_limit:
+            self.detailed.append(self._finish(lv, cycle, "delivered"))
+
+    def drop(self, key: int, cause: str, cycle: int) -> None:
+        lv = self._live.pop(key, None)
+        if lv is None:
+            return
+        self.dropped += 1
+        if len(self.detailed) < self.detail_limit:
+            self.detailed.append(self._finish(lv, cycle, cause))
+
+    # -- views ----------------------------------------------------------
+    def _finish(self, lv: _Live, cycle: int, outcome: str) -> PacketJourney:
+        marks: List[Tuple[str, int]] = [("arrive", lv.arrive)]
+        if lv.lookup >= 0:
+            marks.append(("lookup", lv.lookup))
+        if lv.enqueue >= 0:
+            marks.append(("enqueue", lv.enqueue))
+        if lv.last_hop >= 0:
+            marks.append(("last_hop", lv.last_hop))
+        marks.append(("depart" if outcome == "delivered" else "drop", cycle))
+        return PacketJourney(
+            jid=lv.jid, src=lv.src, dst=lv.dst, size_bytes=lv.size,
+            arrive=lv.arrive, depart=cycle, outcome=outcome,
+            hops=lv.hops, marks=marks,
+        )
+
+    def journey(self, jid: int) -> Optional[PacketJourney]:
+        for j in self.detailed:
+            if j.jid == jid:
+                return j
+        return None
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._live)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "in_flight": self.in_flight,
+            "evicted": self.evicted,
+            "stage_histograms": {
+                s: h.to_dict() for s, h in self.stage_hist.items()
+            },
+            "journeys": [j.to_dict() for j in self.detailed],
+        }

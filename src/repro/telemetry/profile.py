@@ -1,0 +1,66 @@
+"""Kernel self-profiling: where does the *simulator* spend its work?
+
+Collected by gated instrumentation inside ``sim/kernel.py``: per-command
+dispatch counts (the burst vs word-at-a-time mix), calendar-wheel bucket
+occupancy, and far-heap spill traffic.  Wall-clock events/sec is computed
+by the caller (``traced.run_traced``) and reported to the terminal only —
+it never enters exported JSON, which must be deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Kernel command kinds, indexed by the ``_kind`` tag dispatch uses.
+CMD_NAMES = ("Timeout", "Put", "Get", "PutBurst", "GetBurst", "RouteBurst")
+
+WORD_KINDS = ("Put", "Get")
+BURST_KINDS = ("PutBurst", "GetBurst", "RouteBurst")
+
+
+class KernelProfile:
+    """Counters filled in by the kernel when telemetry is enabled."""
+
+    __slots__ = ("cmd_counts", "bucket_drains", "bucket_events",
+                 "bucket_peak", "wheel_peak", "far_spills")
+
+    def __init__(self):
+        self.cmd_counts: List[int] = [0] * len(CMD_NAMES)
+        #: Calendar-wheel buckets drained / total events they held.
+        self.bucket_drains = 0
+        self.bucket_events = 0
+        #: Largest single bucket and largest wheel population observed.
+        self.bucket_peak = 0
+        self.wheel_peak = 0
+        #: Events that spilled to (and later merged back from) the far heap.
+        self.far_spills = 0
+
+    @property
+    def mean_bucket_occupancy(self) -> float:
+        return self.bucket_events / self.bucket_drains if self.bucket_drains else 0.0
+
+    def burst_mix(self) -> Dict[str, int]:
+        by_name = dict(zip(CMD_NAMES, self.cmd_counts))
+        return {
+            "word_ops": sum(by_name[k] for k in WORD_KINDS),
+            "burst_ops": sum(by_name[k] for k in BURST_KINDS),
+            "timeouts": by_name["Timeout"],
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "commands": {
+                name: n
+                for name, n in zip(CMD_NAMES, self.cmd_counts)
+                if n
+            },
+            "burst_mix": self.burst_mix(),
+            "calendar": {
+                "bucket_drains": self.bucket_drains,
+                "bucket_events": self.bucket_events,
+                "mean_bucket_occupancy": self.mean_bucket_occupancy,
+                "bucket_peak": self.bucket_peak,
+                "wheel_peak": self.wheel_peak,
+                "far_spills": self.far_spills,
+            },
+        }

@@ -1,0 +1,173 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms in a
+flat dotted namespace, with periodic snapshotting on a cycle interval.
+
+The registry replaces ad-hoc tallies as the *queryable* surface: the
+existing stat dataclasses (``RouterStats``, ``ResilienceMetrics``) keep
+their public APIs, but register callable gauge views here so every number
+is reachable by one flat name (``fabric.tokens_passed``,
+``ingress.0.queue_depth``, ``kernel.events_dispatched``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+#: Number of log buckets; covers values up to 2**47 cycles.
+HIST_BUCKETS = 48
+
+
+class LogHistogram:
+    """HDR-style fixed-size log-bucketed histogram of non-negative ints.
+
+    Bucket ``i`` holds values whose bit length is ``i`` (bucket 0 holds
+    value 0), i.e. bucket boundaries are powers of two.  Fixed-size
+    arrays, never per-sample lists, so recording is O(1) and memory is
+    constant regardless of sample count.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self):
+        self.buckets: List[int] = [0] * HIST_BUCKETS
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            value = 0
+        self.buckets[value.bit_length()] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Upper bound of the bucket containing the p-th percentile,
+        clamped to the observed max (so p50 never exceeds max)."""
+        if not self.count:
+            return 0
+        target = p / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target and n:
+                bound = 0 if i == 0 else (1 << i) - 1
+                return bound if self.max is None else min(bound, self.max)
+        return self.max or 0
+
+    def nonzero_buckets(self) -> List[Dict[str, int]]:
+        out = []
+        for i, n in enumerate(self.buckets):
+            if n:
+                lo = 0 if i == 0 else 1 << (i - 1)
+                hi = 0 if i == 0 else (1 << i) - 1
+                out.append({"lo": lo, "hi": hi, "count": n})
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0,
+            "max": self.max if self.max is not None else 0,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": self.nonzero_buckets(),
+        }
+
+
+class MetricsRegistry:
+    """Flat-namespace counters/gauges/histograms + periodic snapshots."""
+
+    def __init__(self, snapshot_interval: int = 0):
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, Callable[[], Any]] = {}
+        self._hists: Dict[str, LogHistogram] = {}
+        #: Cycle interval between snapshots; 0 disables periodic capture.
+        self.snapshot_interval = snapshot_interval
+        self.snapshots: List[Dict[str, Any]] = []
+        self._next_snapshot = snapshot_interval if snapshot_interval else None
+
+    # -- counters -------------------------------------------------------
+    def count(self, name: str, delta: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- gauges ---------------------------------------------------------
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a callable view; evaluated lazily at snapshot time."""
+        self._gauges[name] = fn
+
+    def set_gauge(self, name: str, value: Any) -> None:
+        self._gauges[name] = lambda v=value: v
+
+    def read_gauge(self, name: str) -> Any:
+        fn = self._gauges.get(name)
+        return fn() if fn is not None else None
+
+    # -- histograms -----------------------------------------------------
+    def histogram(self, name: str) -> LogHistogram:
+        h = self._hists.get(name)
+        if h is None:
+            h = self._hists[name] = LogHistogram()
+        return h
+
+    def observe(self, name: str, value: int) -> None:
+        self.histogram(name).record(value)
+
+    # -- snapshots ------------------------------------------------------
+    def maybe_snapshot(self, cycle: int) -> None:
+        """Capture a snapshot if ``cycle`` crossed the next boundary."""
+        nxt = self._next_snapshot
+        if nxt is None or cycle < nxt:
+            return
+        self.snapshot(cycle)
+        interval = self.snapshot_interval
+        # Catch up past boundaries without emitting duplicates.
+        boundary = nxt + interval
+        while boundary <= cycle:
+            boundary += interval
+        self._next_snapshot = boundary
+
+    def snapshot(self, cycle: int) -> Dict[str, Any]:
+        snap: Dict[str, Any] = {"cycle": cycle}
+        values: Dict[str, Any] = dict(self._counters)
+        for name, fn in self._gauges.items():
+            try:
+                values[name] = fn()
+            except Exception:
+                values[name] = None
+        snap["values"] = values
+        self.snapshots.append(snap)
+        return snap
+
+    # -- export ---------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._hists)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        values: Dict[str, Any] = dict(self._counters)
+        for name, fn in self._gauges.items():
+            try:
+                values[name] = fn()
+            except Exception:
+                values[name] = None
+        return {
+            "values": {k: values[k] for k in sorted(values)},
+            "histograms": {
+                k: self._hists[k].to_dict() for k in sorted(self._hists)
+            },
+            "snapshots": self.snapshots,
+        }

@@ -1,0 +1,105 @@
+"""The module-level recorder every instrumented site checks.
+
+``RECORDER`` is ``None`` unless telemetry has been enabled, and every
+hot-path site guards with a single truthiness check on a locally captured
+reference::
+
+    tel = self._tel            # captured once at construction
+    ...
+    if tel is not None:
+        tel.events.emit(now, EV_PKT_HOP, subject)
+
+so the disabled-mode cost is one ``is not None`` per site — results are
+bit-identical because instrumentation never creates, reorders, or times
+simulation events.
+
+Enable telemetry *before* constructing engines/Simulators: they capture
+the recorder reference at ``__init__`` time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+from .events import EventLog
+from .journey import JourneyTracker
+from .profile import KernelProfile
+from .registry import MetricsRegistry
+
+
+class Telemetry:
+    """Aggregate of the four telemetry components for one run."""
+
+    def __init__(self, capacity: int = 65536, snapshot_interval: int = 0,
+                 detail_limit: int = 64):
+        self.events = EventLog(capacity=capacity)
+        self.registry = MetricsRegistry(snapshot_interval=snapshot_interval)
+        self.journeys = JourneyTracker(detail_limit=detail_limit)
+        self.kernel = KernelProfile()
+
+    # Convenience pass-throughs used by low-frequency sites.
+    def count(self, name: str, delta: int = 1) -> None:
+        self.registry.count(name, delta)
+
+    def emit(self, cycle: int, kind: int, subject: str = "",
+             data: Any = None) -> None:
+        self.events.emit(cycle, kind, subject, data)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe rollup attached to sweep/chaos artifacts."""
+        return {
+            "events": {
+                "emitted": self.events.emitted,
+                "retained": len(self.events),
+                "by_kind": self.events.counts_by_name(),
+            },
+            "metrics": self.registry.to_dict(),
+            "journeys": {
+                "completed": self.journeys.completed,
+                "dropped": self.journeys.dropped,
+                "in_flight": self.journeys.in_flight,
+                "stage_histograms": {
+                    s: h.to_dict()
+                    for s, h in self.journeys.stage_hist.items()
+                },
+            },
+            "kernel": self.kernel.to_dict(),
+        }
+
+
+#: The one global recorder; ``None`` means telemetry is off.
+RECORDER: Optional[Telemetry] = None
+
+
+def enable(capacity: int = 65536, snapshot_interval: int = 0,
+           detail_limit: int = 64) -> Telemetry:
+    """Install (and return) a fresh recorder."""
+    global RECORDER
+    RECORDER = Telemetry(capacity=capacity,
+                         snapshot_interval=snapshot_interval,
+                         detail_limit=detail_limit)
+    return RECORDER
+
+
+def disable() -> None:
+    global RECORDER
+    RECORDER = None
+
+
+def get() -> Optional[Telemetry]:
+    return RECORDER
+
+
+@contextmanager
+def capture(capacity: int = 65536, snapshot_interval: int = 0,
+            detail_limit: int = 64):
+    """Context manager: enable for the block, restore prior state after."""
+    global RECORDER
+    prev = RECORDER
+    tel = enable(capacity=capacity, snapshot_interval=snapshot_interval,
+                 detail_limit=detail_limit)
+    try:
+        yield tel
+    finally:
+        RECORDER = prev

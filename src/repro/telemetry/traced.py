@@ -1,0 +1,268 @@
+"""``python -m repro trace``: run a workload with telemetry enabled and
+export the capture.
+
+Unlike ``repro run`` (paper tables) and ``repro bench`` (wall clock),
+``repro trace`` is the diagnosis tool: it renders a Chrome-trace/Perfetto
+JSON of the run, a terminal per-stage latency table, and a kernel
+self-profile, so a bench regression can be traced to the stage or kernel
+path that caused it.
+
+``--check`` is the CI gate: schema-validate the export, prove it is
+deterministic across two same-seed runs, prove disabled-mode results are
+bit-identical to the traced run, require at least one complete packet
+journey, and bound the disabled-mode wall-clock overhead against the
+``repro bench`` results file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.config import SimConfig
+from repro.engines import RunResult, WorkloadSpec, run_config
+
+from . import runtime
+from .export import (
+    canonical,
+    chrome_trace,
+    render_kernel_profile,
+    render_stage_table,
+    validate_chrome_trace,
+)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A traceable workload: engine + full and quick budgets."""
+
+    description: str
+    fidelity: str
+    workload: WorkloadSpec
+    quick_workload: WorkloadSpec
+
+
+#: Experiments `repro trace` knows how to run.  ``fig7_1_peak`` is the
+#: acceptance workload: the thesis's peak-throughput point (1024-byte
+#: permutation traffic on the phase-level router).
+SPECS: Dict[str, TraceSpec] = {
+    "fig7_1_peak": TraceSpec(
+        description="Fig 7-1 peak point: 1024B permutation on the router",
+        fidelity="router",
+        workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
+                              packets=600),
+        quick_workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
+                                    packets=150),
+    ),
+    "fig7_1_avg": TraceSpec(
+        description="Fig 7-1 average point: 1024B uniform on the router",
+        fidelity="router",
+        workload=WorkloadSpec(pattern="uniform", packet_bytes=1024,
+                              packets=600),
+        quick_workload=WorkloadSpec(pattern="uniform", packet_bytes=1024,
+                                    packets=150),
+    ),
+    "fig7_3": TraceSpec(
+        description="Fig 7-3 regime: word-level permutation run",
+        fidelity="wordlevel",
+        workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
+                              cycles=30_000, warmup_cycles=0),
+        quick_workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
+                                    cycles=12_000, warmup_cycles=0),
+    ),
+}
+
+#: Default registry snapshot interval (cycles) for traced runs.
+DEFAULT_SNAPSHOT_INTERVAL = 5000
+
+
+def run_traced(
+    name: str,
+    quick: bool = False,
+    packets: Optional[int] = None,
+    seed: int = 0,
+    snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+) -> Tuple[RunResult, runtime.Telemetry, float]:
+    """Run one spec with telemetry enabled; returns (result, tel, wall_s).
+
+    Telemetry is enabled *before* the engine is built (engines capture
+    the recorder at construction) and restored to its prior state after.
+    """
+    spec = SPECS[name]
+    workload = spec.quick_workload if quick else spec.workload
+    if packets is not None:
+        if spec.fidelity == "wordlevel":
+            raise ValueError("--packets does not apply to the word-level engine")
+        workload = workload.replace(packets=packets)
+    config = SimConfig(fidelity=spec.fidelity, seed=seed)
+    with runtime.capture(snapshot_interval=snapshot_interval) as tel:
+        t0 = time.perf_counter()
+        result = run_config(config, workload)
+        wall = time.perf_counter() - t0
+    return result, tel, wall
+
+
+def run_plain(name: str, quick: bool = False,
+              packets: Optional[int] = None, seed: int = 0) -> RunResult:
+    """Same workload with telemetry disabled (the bit-identity reference)."""
+    spec = SPECS[name]
+    workload = spec.quick_workload if quick else spec.workload
+    if packets is not None and spec.fidelity != "wordlevel":
+        workload = workload.replace(packets=packets)
+    runtime.disable()
+    return run_config(SimConfig(fidelity=spec.fidelity, seed=seed), workload)
+
+
+def _result_fingerprint(result: RunResult) -> Dict[str, Any]:
+    """The fields that must be bit-identical with telemetry on or off."""
+    return {
+        "cycles": result.cycles,
+        "delivered_packets": result.delivered_packets,
+        "delivered_words": result.delivered_words,
+        "gbps": result.gbps,
+        "mpps": result.mpps,
+        "per_port_packets": list(result.per_port_packets),
+        "latency": dict(result.latency),
+    }
+
+
+def _check_overhead(bench_results: Optional[Path]) -> Tuple[bool, str]:
+    """Disabled-mode overhead gate against the stored bench results.
+
+    CI runs ``repro bench --quick`` earlier in the same job, so the
+    stored ``kernel_bench.current`` quick-mode router timing is fresh
+    and same-machine.  Re-time the router quick budget now (telemetry
+    disabled) and require it within 5% plus an absolute noise floor.
+    Skips (passes with a note) when no comparable reference exists.
+    """
+    from repro import bench
+
+    path = bench_results if bench_results is not None else bench.DEFAULT_RESULTS_PATH
+    data = bench.load_results(Path(path))
+    kb = data.get("kernel_bench", {})
+    ref = None
+    for report in (kb.get("current"), kb.get("baseline", {}).get("quick")):
+        if isinstance(report, dict) and report.get("mode") == "quick":
+            for row in report.get("runs", []):
+                if row.get("engine") == "router" and row.get("wall_s"):
+                    ref = row["wall_s"]
+                    break
+        if ref is not None:
+            break
+    if ref is None:
+        return True, ("overhead: skipped (no quick-mode router timing in "
+                      f"{path}; run `repro bench --quick` first)")
+    runtime.disable()
+    row = bench.bench_engine("router", mode="quick", repeats=3)
+    wall = row["wall_s"]
+    limit = ref * 1.05 + 0.25  # 5% plus an absolute floor for timer noise
+    detail = f"disabled-mode wall {wall:.3f}s vs reference {ref:.3f}s (limit {limit:.3f}s)"
+    if wall > limit:
+        return False, f"overhead: FAIL {detail}"
+    return True, f"overhead: ok {detail}"
+
+
+def _check(name: str, quick: bool, packets: Optional[int], seed: int,
+           doc: Dict[str, Any], result: RunResult, tel: runtime.Telemetry,
+           bench_results: Optional[Path]) -> int:
+    failures = 0
+
+    problems = validate_chrome_trace(doc)
+    if problems:
+        failures += 1
+        print("schema: FAIL", file=sys.stderr)
+        for p in problems[:20]:
+            print(f"  {p}", file=sys.stderr)
+    else:
+        print(f"schema: ok ({len(doc['traceEvents'])} events)")
+
+    result2, tel2, _ = run_traced(name, quick=quick, packets=packets, seed=seed)
+    doc2 = chrome_trace(tel2, title=name,
+                        ports=result2.config.ports if result2.config else 4)
+    if canonical(doc) != canonical(doc2):
+        failures += 1
+        print("determinism: FAIL (same-seed runs exported different JSON)",
+              file=sys.stderr)
+    else:
+        print("determinism: ok (two same-seed runs exported identical JSON)")
+
+    plain = run_plain(name, quick=quick, packets=packets, seed=seed)
+    if _result_fingerprint(plain) != _result_fingerprint(result):
+        failures += 1
+        print("disabled-mode identity: FAIL (telemetry changed results)",
+              file=sys.stderr)
+    else:
+        print("disabled-mode identity: ok (results bit-identical)")
+
+    if tel.journeys.completed < 1 or not tel.journeys.detailed:
+        failures += 1
+        print("journeys: FAIL (no complete PacketJourney captured)",
+              file=sys.stderr)
+    else:
+        print(f"journeys: ok ({tel.journeys.completed} complete, "
+              f"{len(tel.journeys.detailed)} detailed)")
+
+    ok, detail = _check_overhead(bench_results)
+    print(detail, file=sys.stderr if not ok else sys.stdout)
+    if not ok:
+        failures += 1
+
+    return 1 if failures else 0
+
+
+def main(args) -> int:
+    """Entry point behind ``python -m repro trace``."""
+    name = args.experiment
+    if name not in SPECS:
+        print(f"unknown trace experiment {name!r}; "
+              f"expected one of {tuple(SPECS)}", file=sys.stderr)
+        return 2
+    snapshot_interval = (
+        args.snapshot_interval
+        if args.snapshot_interval is not None
+        else DEFAULT_SNAPSHOT_INTERVAL
+    )
+    result, tel, wall = run_traced(
+        name, quick=args.quick, packets=args.packets, seed=args.seed,
+        snapshot_interval=snapshot_interval,
+    )
+    ports = result.config.ports if result.config else 4
+    doc = chrome_trace(tel, title=name, ports=ports)
+
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"wrote {out} (open at https://ui.perfetto.dev)")
+
+    print(f"{name}: {result.gbps:.3f} Gbps, "
+          f"{result.delivered_packets} packets in {result.cycles} cycles")
+    print()
+    print(render_stage_table(tel))
+    print()
+    sim_events = result.extra.get("kernel_events")
+    print(render_kernel_profile(tel, wall_s=wall, sim_events=sim_events))
+
+    if args.summary:
+        print()
+        print("event counts:")
+        for kind, n in sorted(tel.events.counts_by_name().items()):
+            print(f"  {kind:<16}{n:>10}")
+        if tel.journeys.detailed:
+            j = tel.journeys.detailed[0]
+            print(f"journey j{j.jid}: port {j.src} -> {j.dst}, "
+                  f"{j.size_bytes}B, {j.outcome} in {j.latency} cycles")
+            for mark, cycle in j.marks:
+                print(f"  {mark:<10}@ {cycle}")
+        print("registry metrics: " + ", ".join(tel.registry.names()))
+
+    if args.check:
+        print()
+        return _check(name, args.quick, args.packets, args.seed,
+                      doc, result, tel,
+                      Path(args.bench_results) if args.bench_results else None)
+    return 0

@@ -2,7 +2,8 @@
 
 Each row is a tile; each column is a bin of cycles.  ``#`` = computing,
 ``.`` = blocked (on transmit, receive, or cache miss -- the figure's
-gray), space = idle.  Bins mixing states show the majority state.
+gray), ``x`` = link down, ``~`` = stalled by an injected fault, space =
+idle.  Bins mixing states show the majority state.
 """
 
 from __future__ import annotations
@@ -14,13 +15,21 @@ import numpy as np
 from repro.metrics.utilization import (
     BLOCKED_CODE,
     BUSY_CODE,
+    DOWN_CODE,
     IDLE_CODE,
+    STALLED_CODE,
     UtilizationSummary,
     state_matrix,
 )
 from repro.sim.trace import Trace
 
-_GLYPH = {IDLE_CODE: " ", BUSY_CODE: "#", BLOCKED_CODE: "."}
+_GLYPH = {
+    IDLE_CODE: " ",
+    BUSY_CODE: "#",
+    BLOCKED_CODE: ".",
+    DOWN_CODE: "x",
+    STALLED_CODE: "~",
+}
 
 
 def render_timeline(
@@ -50,7 +59,8 @@ def render_timeline(
         (len((labels or {}).get(k, k)) for k in keys), default=4
     )
     lines = [
-        f"{'':<{label_width}} cycles {start}..{stop}  (#=busy  .=blocked  ' '=idle)"
+        f"{'':<{label_width}} cycles {start}..{stop}"
+        "  (#=busy  .=blocked  x=down  ~=stalled  ' '=idle)"
     ]
     for row, key in enumerate(keys):
         cells = []
@@ -59,7 +69,7 @@ def render_timeline(
             if hi <= lo:
                 cells.append(" ")
                 continue
-            counts = np.bincount(mat[row, lo:hi], minlength=3)
+            counts = np.bincount(mat[row, lo:hi], minlength=5)
             cells.append(_GLYPH[int(np.argmax(counts))])
         name = (labels or {}).get(key, key)
         lines.append(f"{name:<{label_width}} {''.join(cells)}")

@@ -39,3 +39,24 @@ class TestRun:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTrace:
+    def test_trace_quick(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "fig7_1_peak", "--quick",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage latency" in out
+        assert "kernel self-profile" in out
+        assert out_path.exists()
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown trace experiment" in capsys.readouterr().err
+
+    def test_trace_leaves_telemetry_disabled(self):
+        from repro.telemetry import runtime
+
+        assert main(["trace", "fig7_1_peak", "--quick"]) == 0
+        assert runtime.get() is None

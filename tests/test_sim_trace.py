@@ -40,6 +40,58 @@ class TestTraceRecording:
         assert t.time_in_state("nope", "busy") == 0
 
 
+class TestTraceOverlapRejection:
+    """``record`` must reject intervals that overlap an existing one for
+    the same key: overlapping states would double-count utilization."""
+
+    def test_overlap_with_last_rejected(self):
+        t = Trace()
+        t.record("a", "busy", 0, 10)
+        with pytest.raises(ValueError, match="overlap"):
+            t.record("a", "idle", 5, 8)
+
+    def test_overlap_out_of_order_rejected(self):
+        t = Trace()
+        t.record("a", "busy", 10, 20)
+        with pytest.raises(ValueError, match="overlap"):
+            t.record("a", "idle", 0, 15)
+
+    def test_straddling_insert_rejected(self):
+        t = Trace()
+        t.record("a", "busy", 0, 5)
+        t.record("a", "busy", 10, 15)
+        with pytest.raises(ValueError, match="overlap"):
+            t.record("a", "idle", 4, 11)
+
+    def test_touching_intervals_allowed(self):
+        t = Trace()
+        t.record("a", "busy", 0, 5)
+        t.record("a", "idle", 5, 10)  # half-open: end == next start is fine
+        t.record("a", "tx", 10, 12)
+        assert len(t.intervals("a")) == 3
+
+    def test_gap_insert_between_existing_allowed(self):
+        t = Trace()
+        t.record("a", "busy", 0, 2)
+        t.record("a", "busy", 10, 12)
+        t.record("a", "idle", 4, 8)  # fits in the gap, out of order
+        starts = [iv.start for iv in t.intervals("a")]
+        assert starts == [0, 4, 10]
+
+    def test_other_keys_unaffected(self):
+        t = Trace()
+        t.record("a", "busy", 0, 10)
+        t.record("b", "busy", 0, 10)  # same span, different key: fine
+        assert t.keys() == ["a", "b"]
+
+    def test_same_state_contiguous_coalesces(self):
+        t = Trace()
+        t.record("a", "busy", 0, 5)
+        t.record("a", "busy", 5, 9)
+        ivs = t.intervals("a")
+        assert [(iv.start, iv.end) for iv in ivs] == [(0, 9)]
+
+
 class TestTraceWindow:
     def test_outside_window_dropped(self):
         t = Trace(start=100, stop=200)

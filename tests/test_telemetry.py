@@ -1,0 +1,314 @@
+"""Telemetry layer: event log, registry, journeys, and the two hard
+guarantees -- disabled-mode bit-identity and enable/restore semantics."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.engines import WorkloadSpec, run_config
+from repro.telemetry import runtime
+from repro.telemetry.events import (
+    EV_PKT_ARRIVE,
+    EV_PKT_DEPART,
+    EV_TOKEN_PASS,
+    KIND_NAMES,
+    EventLog,
+)
+from repro.telemetry.journey import JourneyTracker
+from repro.telemetry.profile import KernelProfile
+from repro.telemetry.registry import LogHistogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with the recorder disabled."""
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+class TestEventLog:
+    def test_emit_and_read_back(self):
+        log = EventLog(capacity=16)
+        log.emit(5, EV_PKT_ARRIVE, "port0", 1024)
+        log.emit(9, EV_PKT_DEPART, "port2", 1024)
+        evs = log.events()
+        assert [(e.cycle, e.kind, e.subject) for e in evs] == [
+            (5, EV_PKT_ARRIVE, "port0"),
+            (9, EV_PKT_DEPART, "port2"),
+        ]
+        assert evs[0].seq == 0 and evs[1].seq == 1
+        assert log.dropped == 0
+
+    def test_ring_wrap_keeps_newest(self):
+        log = EventLog(capacity=8)
+        for i in range(20):
+            log.emit(i, EV_TOKEN_PASS, "fabric", i)
+        assert log.emitted == 20
+        assert len(log) == 8
+        assert log.dropped == 12
+        evs = log.events()
+        # Oldest-first, and only the newest 8 survive.
+        assert [e.cycle for e in evs] == list(range(12, 20))
+        assert [e.seq for e in evs] == list(range(12, 20))
+
+    def test_counts_by_name_survive_wrap(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit(i, EV_PKT_ARRIVE, "port0")
+        counts = log.counts_by_name()
+        assert counts[KIND_NAMES[EV_PKT_ARRIVE]] == 10
+
+
+class TestLogHistogram:
+    def test_bucketing_and_stats(self):
+        h = LogHistogram()
+        for v in (0, 1, 2, 3, 100, 1000):
+            h.record(v)
+        assert h.count == 6
+        assert h.min == 0 and h.max == 1000
+        assert h.mean == pytest.approx(1106 / 6)
+
+    def test_percentile_clamped_to_max(self):
+        h = LogHistogram()
+        h.record(276)  # bucket upper bound would be 511
+        assert h.percentile(50) == 276
+        assert h.percentile(99) == 276
+
+    def test_percentile_orders(self):
+        h = LogHistogram()
+        for _ in range(99):
+            h.record(10)
+        h.record(100_000)
+        assert h.percentile(50) <= 15
+        assert h.percentile(99.9) >= 65536 - 1
+
+    def test_empty(self):
+        h = LogHistogram()
+        assert h.mean == 0.0 and h.percentile(50) == 0
+        assert h.to_dict()["count"] == 0
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.count("fabric.tokens_passed")
+        reg.count("fabric.tokens_passed", 3)
+        assert reg.counter("fabric.tokens_passed") == 4
+        state = {"depth": 7}
+        reg.gauge("ingress.0.queue_depth", lambda: state["depth"])
+        assert reg.read_gauge("ingress.0.queue_depth") == 7
+        state["depth"] = 2
+        assert reg.read_gauge("ingress.0.queue_depth") == 2
+        assert "fabric.tokens_passed" in reg.names()
+
+    def test_periodic_snapshots_no_duplicates(self):
+        reg = MetricsRegistry(snapshot_interval=100)
+        reg.count("c")
+        for cycle in (50, 99, 100, 101, 150, 450, 460):
+            reg.maybe_snapshot(cycle)
+        cycles = [s["cycle"] for s in reg.snapshots]
+        # One at the first boundary crossing, one after the jump; the
+        # catch-up never emits duplicates for skipped boundaries.
+        assert cycles == [100, 450]
+        assert all(s["values"]["c"] == 1 for s in reg.snapshots)
+
+    def test_snapshot_interval_zero_disables(self):
+        reg = MetricsRegistry(snapshot_interval=0)
+        for cycle in range(0, 10_000, 100):
+            reg.maybe_snapshot(cycle)
+        assert reg.snapshots == []
+
+    def test_to_dict_evaluates_gauges(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", lambda: 42)
+        reg.gauge("boom", lambda: 1 / 0)
+        d = reg.to_dict()
+        assert d["values"]["g"] == 42
+        assert d["values"]["boom"] is None  # failing gauge degrades to None
+
+
+class TestJourneyTracker:
+    def test_full_lifecycle(self):
+        j = JourneyTracker()
+        j.arrive(1, src=0, cycle=10)
+        j.lookup(1, dst=2, size=1024, cycle=15)
+        j.enqueue(1, cycle=20)
+        j.hop(1, cycle=30)
+        j.hop(1, cycle=40)
+        j.depart(1, cycle=50)
+        assert j.completed == 1 and j.in_flight == 0
+        pj = j.detailed[0]
+        assert pj.src == 0 and pj.dst == 2 and pj.outcome == "delivered"
+        assert pj.latency == 40 and pj.hops == 2
+        assert pj.stage_latencies() == {
+            "ingress": 10, "fabric": 20, "egress": 10, "total": 40,
+        }
+        assert j.stage_hist["total"].count == 1
+        assert j.journey(pj.jid) is pj
+
+    def test_enqueue_only_first_counts(self):
+        j = JourneyTracker()
+        j.arrive(1, 0, 0)
+        j.enqueue(1, 5)
+        j.enqueue(1, 9)  # re-offered header after a denied grant
+        j.depart(1, 20)
+        assert dict(j.detailed[0].marks)["enqueue"] == 5
+
+    def test_drop_recorded_with_cause(self):
+        j = JourneyTracker()
+        j.arrive(7, 1, 0)
+        j.drop(7, "checksum", 3)
+        assert j.dropped == 1 and j.completed == 0
+        assert j.detailed[0].outcome == "checksum"
+
+    def test_unknown_key_ignored(self):
+        j = JourneyTracker()
+        j.depart(99, 5)
+        j.hop(99, 5)
+        j.drop(99, "x", 5)
+        assert j.completed == 0 and j.dropped == 0
+
+    def test_live_cap_evicts_oldest(self):
+        from repro.telemetry.journey import LIVE_CAP
+
+        j = JourneyTracker(detail_limit=0)
+        for k in range(LIVE_CAP + 10):
+            j.arrive(k, 0, k)
+        assert j.in_flight == LIVE_CAP
+        assert j.evicted == 10
+        j.depart(0, 1)  # key 0 was evicted; no effect
+        assert j.completed == 0
+
+    def test_detail_limit(self):
+        j = JourneyTracker(detail_limit=2)
+        for k in range(5):
+            j.arrive(k, 0, 0)
+            j.depart(k, 10)
+        assert j.completed == 5
+        assert len(j.detailed) == 2
+
+
+class TestKernelProfile:
+    def test_burst_mix(self):
+        p = KernelProfile()
+        p.cmd_counts[1] = 30  # Put
+        p.cmd_counts[2] = 10  # Get
+        p.cmd_counts[3] = 5   # PutBurst
+        p.cmd_counts[4] = 15  # GetBurst
+        p.cmd_counts[0] = 7   # Timeout
+        mix = p.burst_mix()
+        assert mix["word_ops"] == 40
+        assert mix["burst_ops"] == 20
+        assert mix["timeouts"] == 7
+
+    def test_mean_bucket_occupancy(self):
+        p = KernelProfile()
+        assert p.mean_bucket_occupancy == 0.0
+        p.bucket_drains = 4
+        p.bucket_events = 10
+        assert p.mean_bucket_occupancy == 2.5
+
+
+class TestRuntime:
+    def test_disabled_by_default(self):
+        assert runtime.get() is None
+
+    def test_capture_restores_prior_state(self):
+        outer = runtime.enable()
+        with runtime.capture() as tel:
+            assert runtime.get() is tel
+            assert tel is not outer
+        assert runtime.get() is outer
+
+    def test_capture_restores_none(self):
+        with runtime.capture():
+            pass
+        assert runtime.get() is None
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        with runtime.capture() as tel:
+            tel.count("x")
+            tel.emit(1, EV_TOKEN_PASS, "fabric", 2)
+            tel.journeys.arrive(1, 0, 0)
+            tel.journeys.depart(1, 7)
+        json.dumps(tel.summary())
+
+
+def _fingerprint(result):
+    return (
+        result.cycles,
+        result.delivered_packets,
+        result.delivered_words,
+        result.gbps,
+        result.mpps,
+        tuple(result.per_port_packets),
+        tuple(sorted(result.latency.items())),
+    )
+
+
+class TestDisabledModeIdentity:
+    """Telemetry on vs off must not change a single simulated number."""
+
+    @pytest.mark.parametrize("fidelity,workload", [
+        ("fabric", WorkloadSpec(pattern="uniform", quanta=300)),
+        ("router", WorkloadSpec(pattern="permutation", packets=80)),
+        ("wordlevel", WorkloadSpec(pattern="permutation", cycles=8_000,
+                                   warmup_cycles=0)),
+    ])
+    def test_engine_bit_identical(self, fidelity, workload):
+        config = SimConfig(fidelity=fidelity, seed=3)
+        runtime.disable()
+        plain = run_config(config, workload)
+        with runtime.capture() as tel:
+            traced = run_config(config, workload)
+        assert _fingerprint(plain) == _fingerprint(traced)
+        # And the traced run actually recorded something.
+        assert tel.events.emitted > 0
+
+    def test_router_telemetry_content(self):
+        config = SimConfig(fidelity="router", seed=0)
+        workload = WorkloadSpec(pattern="permutation", packets=80)
+        with runtime.capture() as tel:
+            result = run_config(config, workload)
+        assert tel.journeys.completed >= result.delivered_packets
+        assert tel.registry.counter("fabric.tokens_passed") > 0
+        assert tel.registry.counter("fabric.xbar_configs") > 0
+        assert tel.registry.read_gauge("router.delivered_packets") == \
+            result.delivered_packets
+        assert tel.registry.read_gauge("kernel.events_dispatched") == \
+            result.extra["kernel_events"]
+        # Kernel self-profile saw the dispatch loop.
+        assert sum(tel.kernel.cmd_counts) > 0
+        assert tel.kernel.bucket_drains > 0
+
+    def test_wordlevel_telemetry_content(self):
+        config = SimConfig(fidelity="wordlevel", seed=0)
+        workload = WorkloadSpec(pattern="permutation", cycles=8_000,
+                                warmup_cycles=0)
+        with runtime.capture() as tel:
+            result = run_config(config, workload)
+        assert result.delivered_packets > 0
+        assert tel.journeys.completed == result.delivered_packets
+        assert tel.registry.counter("fabric.tokens_passed") > 0
+        marks = dict(tel.journeys.detailed[0].marks)
+        assert {"arrive", "lookup", "enqueue", "depart"} <= set(marks)
+
+
+class TestTokenCounters:
+    def test_rotating_token_counts_passes(self):
+        from repro.core.token import RotatingToken
+
+        with runtime.capture() as tel:
+            tok = RotatingToken(4)
+            for _ in range(5):
+                tok.advance()
+        assert tel.registry.counter("fabric.tokens_passed") == 5
+
+    def test_no_recorder_no_counting(self):
+        from repro.core.token import RotatingToken
+
+        tok = RotatingToken(4)
+        tok.advance()  # must not raise with telemetry off
+        assert runtime.get() is None

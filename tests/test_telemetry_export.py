@@ -1,0 +1,160 @@
+"""Golden exporter test: the Chrome-trace JSON for the acceptance
+workload (Fig 7-1 peak, quick budget) must be schema-valid, time-ordered,
+span-balanced, and byte-deterministic across same-seed runs."""
+
+import json
+
+import pytest
+
+from repro.telemetry import runtime
+from repro.telemetry.export import (
+    TRACE_SCHEMA,
+    canonical,
+    chrome_trace,
+    render_kernel_profile,
+    render_stage_table,
+    validate_chrome_trace,
+)
+from repro.telemetry.traced import (
+    SPECS,
+    run_plain,
+    run_traced,
+    _result_fingerprint,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One quick-budget traced run of the acceptance workload."""
+    result, tel, _wall = run_traced("fig7_1_peak", quick=True, seed=0)
+    doc = chrome_trace(tel, title="fig7_1_peak", ports=result.config.ports)
+    runtime.disable()
+    return result, tel, doc
+
+
+class TestGoldenExport:
+    def test_schema_valid(self, traced_run):
+        _, _, doc = traced_run
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+
+    def test_ts_monotonic(self, traced_run):
+        _, _, doc = traced_run
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        assert len(ts) > 0
+
+    def test_async_spans_balanced(self, traced_run):
+        _, _, doc = traced_run
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+        assert len(begins) == len(ends)
+        assert len(begins) >= 1  # at least one complete PacketJourney
+        assert {e["id"] for e in begins} == {e["id"] for e in ends}
+
+    def test_stage_slices_present(self, traced_run):
+        _, _, doc = traced_run
+        stages = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"ingress", "fabric", "egress"} <= stages
+
+    def test_stage_histograms_populated(self, traced_run):
+        _, tel, doc = traced_run
+        hists = doc["otherData"]["stage_histograms"]
+        for stage in ("ingress", "fabric", "egress", "total"):
+            assert hists[stage]["count"] > 0
+        assert tel.journeys.completed >= 1
+
+    def test_counter_snapshots_present(self, traced_run):
+        _, _, doc = traced_run
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters, "expected periodic metric snapshots as C events"
+        names = {e["name"] for e in counters}
+        assert "fabric.tokens_passed" in names
+
+    def test_deterministic_across_runs(self, traced_run):
+        _, _, doc = traced_run
+        result2, tel2, _ = run_traced("fig7_1_peak", quick=True, seed=0)
+        doc2 = chrome_trace(tel2, title="fig7_1_peak",
+                            ports=result2.config.ports)
+        assert canonical(doc) == canonical(doc2)
+
+    def test_json_serializable(self, traced_run):
+        _, _, doc = traced_run
+        json.loads(json.dumps(doc))
+
+    def test_no_wall_clock_in_export(self, traced_run):
+        """Wall time is nondeterministic; it must stay terminal-only."""
+        _, _, doc = traced_run
+        text = json.dumps(doc)
+        assert "wall" not in text
+        assert "events_per_sec" not in text
+
+    def test_disabled_run_bit_identical(self, traced_run):
+        result, _, _ = traced_run
+        plain = run_plain("fig7_1_peak", quick=True, seed=0)
+        assert _result_fingerprint(plain) == _result_fingerprint(result)
+
+
+class TestRenderers:
+    def test_stage_table(self, traced_run):
+        _, tel, _ = traced_run
+        out = render_stage_table(tel)
+        assert "ingress" in out and "total" in out
+        assert "journeys:" in out
+
+    def test_kernel_profile(self, traced_run):
+        _, tel, _ = traced_run
+        out = render_kernel_profile(tel, wall_s=0.5, sim_events=1000)
+        assert "dispatch rate" in out
+        assert "calendar buckets" in out
+        out_no_wall = render_kernel_profile(tel)
+        assert "dispatch rate" not in out_no_wall
+
+
+class TestValidator:
+    def test_catches_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_catches_nonmonotonic_ts(self):
+        doc = {"traceEvents": [
+            {"ph": "i", "pid": 1, "name": "a", "ts": 10, "s": "t"},
+            {"ph": "i", "pid": 1, "name": "b", "ts": 5, "s": "t"},
+        ]}
+        assert any("monotonic" in p for p in validate_chrome_trace(doc))
+
+    def test_catches_unmatched_spans(self):
+        doc = {"traceEvents": [
+            {"ph": "b", "cat": "j", "id": 1, "pid": 1, "name": "a", "ts": 0},
+        ]}
+        assert any("left open" in p for p in validate_chrome_trace(doc))
+        doc = {"traceEvents": [
+            {"ph": "e", "cat": "j", "id": 1, "pid": 1, "name": "a", "ts": 0},
+        ]}
+        assert any("without matching" in p for p in validate_chrome_trace(doc))
+
+    def test_catches_x_without_dur(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 1, "name": "a", "ts": 0},
+        ]}
+        assert any("missing 'dur'" in p for p in validate_chrome_trace(doc))
+
+
+class TestSpecs:
+    def test_acceptance_spec_exists(self):
+        assert "fig7_1_peak" in SPECS
+        assert SPECS["fig7_1_peak"].fidelity == "router"
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(KeyError):
+            run_traced("nope")
+
+    def test_packets_override_rejected_for_wordlevel(self):
+        with pytest.raises(ValueError):
+            run_traced("fig7_3", packets=10)

@@ -44,6 +44,35 @@ class TestTimeline:
         out = render_timeline(_trace(), ["t4"], 0, 5, width=100)
         assert len(out.splitlines()[1].split(None, 1)[1]) <= 5
 
+    def test_fault_states_get_distinct_glyphs(self):
+        from repro.sim.kernel import DOWN, STALLED
+
+        t = Trace()
+        t.record("input:1", DOWN, 0, 50)
+        t.record("input:1", "busy", 50, 100)
+        t.record("input:2", STALLED, 0, 100)
+        out = render_timeline(t, ["input:1", "input:2"], 0, 100, width=10)
+        lines = out.splitlines()
+        assert "x=down" in lines[0] and "~=stalled" in lines[0]
+        row1 = lines[1].split(None, 1)[1]
+        assert row1.count("x") == 5 and row1.count("#") == 5
+        assert set(lines[2].split(None, 1)[1]) == {"~"}
+
+
+class TestFaultUtilization:
+    def test_faulted_cycles_counted_separately(self):
+        from repro.sim.kernel import DOWN, STALLED
+
+        t = Trace()
+        t.record("k", "busy", 0, 30)
+        t.record("k", DOWN, 30, 50)
+        t.record("k", STALLED, 50, 60)
+        s = summarize_trace(t, 0, 100)["k"]
+        assert s.busy == 30
+        assert s.faulted == 30
+        assert s.blocked == 0
+        assert s.idle == 40
+
 
 class TestUtilizationBars:
     def test_bars_and_percentages(self):
