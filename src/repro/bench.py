@@ -16,6 +16,16 @@ tables) under a ``kernel_bench`` key:
 
 ``--quick`` shrinks the budgets for CI smoke runs; ``--check``
 validates the schema of an existing results file and exits.
+
+``--engine fabric-large`` selects the *fabric fast-path* suite instead:
+large-ring (N=16/32) scaling runs timed twice -- once with the plain
+step loop, once with the fast path (allocation cache + steady-state
+fast-forward for deterministic traffic, cache + time-sliced sharding
+for stochastic traffic).  Results land under a separate
+``fabric_large`` key; every scenario records ``stats_match`` (the fast
+path must be bit-identical to the step loop).  With ``--check`` the
+suite still runs, then fails the process if any scenario mismatches or
+slows down (speedup < 1.0) -- the CI smoke configuration.
 """
 
 from __future__ import annotations
@@ -106,6 +116,185 @@ def run_bench(
         "platform": platform.platform(),
         "runs": runs,
     }
+
+
+# ---------------------------------------------------------------------------
+# The fabric fast-path suite (``--engine fabric-large``).
+# ---------------------------------------------------------------------------
+#: Schema tag for the ``fabric_large`` results section.
+FABRIC_LARGE_SCHEMA = "repro-fabric-large-bench/1"
+
+#: Scenario budgets.  Each scenario is timed as (plain step loop) vs
+#: (fast path); ``optimized`` names which fast-path layers the scenario
+#: exercises.  Deterministic traffic gets cache + fast-forward;
+#: stochastic traffic gets cache + sharding only (fast-forward
+#: auto-disables on aperiodic sources).
+FABRIC_LARGE_SCENARIOS: Dict[str, List[Dict[str, Any]]] = {
+    "full": [
+        {"name": "saturated_n16", "ports": 16, "quanta": 20_000, "warmup": 200,
+         "source": {"kind": "permutation", "words": 256, "shift": 8},
+         "optimized": "cache+fast_forward"},
+        {"name": "uniform_n16", "ports": 16, "quanta": 12_000, "warmup": 200,
+         "source": {"kind": "uniform_counter", "words": 256, "seed": 42,
+                    "exclude_self": True},
+         "optimized": "cache+sharded", "shards": 8},
+        {"name": "saturated_n32", "ports": 32, "quanta": 8_000, "warmup": 200,
+         "source": {"kind": "permutation", "words": 256, "shift": 16},
+         "optimized": "cache+fast_forward"},
+    ],
+    "quick": [
+        {"name": "saturated_n16", "ports": 16, "quanta": 2_500, "warmup": 100,
+         "source": {"kind": "permutation", "words": 256, "shift": 8},
+         "optimized": "cache+fast_forward"},
+        {"name": "uniform_n16", "ports": 16, "quanta": 1_500, "warmup": 100,
+         "source": {"kind": "uniform_counter", "words": 256, "seed": 42,
+                    "exclude_self": True},
+         "optimized": "cache+sharded", "shards": 4},
+    ],
+}
+
+
+def _bench_fabric_large_scenario(sc: Dict[str, Any]) -> Dict[str, Any]:
+    """Time one scenario both ways; the fast path must be bit-identical."""
+    from repro.parallel.fabric_shard import (
+        ShardSpec, build_sim, make_source, run_serial, run_sharded,
+    )
+
+    spec = ShardSpec(
+        ports=sc["ports"],
+        source=ShardSpec.pack_source(sc["source"]),
+        quanta=sc["quanta"],
+        warmup_quanta=sc["warmup"],
+        shards=sc.get("shards", 1),
+    )
+    t0 = time.perf_counter()
+    baseline = run_serial(spec, cached=False)
+    baseline_wall = time.perf_counter() - t0
+
+    extra: Dict[str, Any]
+    if sc["optimized"] == "cache+fast_forward":
+        sim = build_sim(spec, cached=True)
+        sim.fast_forward = True
+        t0 = time.perf_counter()
+        fast = sim.run(
+            make_source(spec), quanta=spec.quanta,
+            warmup_quanta=spec.warmup_quanta,
+        )
+        fast_wall = time.perf_counter() - t0
+        extra = {
+            "ff_quanta": sim.ff_quanta,
+            "cache": sim.allocator.cache_info(),
+        }
+    else:
+        t0 = time.perf_counter()
+        fast, info = run_sharded(spec)
+        fast_wall = time.perf_counter() - t0
+        extra = {"shards": info.shards, "workers": info.workers,
+                 "pilot_quanta": info.pilot_quanta}
+    return {
+        "scenario": sc["name"],
+        "ports": sc["ports"],
+        "quanta": sc["quanta"],
+        "optimized": sc["optimized"],
+        "baseline_wall_s": baseline_wall,
+        "fast_wall_s": fast_wall,
+        "speedup": baseline_wall / fast_wall if fast_wall > 0 else None,
+        "stats_match": baseline.counters() == fast.counters(),
+        "gbps": fast.gbps,
+        "delivered_words": fast.delivered_words,
+        "fast_path": extra,
+    }
+
+
+def run_fabric_large(mode: str = "full") -> Dict[str, Any]:
+    """Run the fabric fast-path suite; returns the JSON-ready report."""
+    if mode not in FABRIC_LARGE_SCENARIOS:
+        raise ValueError(f"unknown bench mode {mode!r}")
+    return {
+        "schema": FABRIC_LARGE_SCHEMA,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": [
+            _bench_fabric_large_scenario(sc)
+            for sc in FABRIC_LARGE_SCENARIOS[mode]
+        ],
+    }
+
+
+def merge_fabric_large(
+    data: Dict[str, Any], report: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Fold a fast-path report into the results dict (keyed by mode, so
+    a ``--quick`` CI run never clobbers the full-budget numbers)."""
+    fl = data.setdefault("fabric_large", {"schema": FABRIC_LARGE_SCHEMA})
+    fl[report["mode"]] = report
+    return data
+
+
+def check_fabric_large(report: Dict[str, Any]) -> List[str]:
+    """CI invariants: every scenario bit-identical and not slower."""
+    problems: List[str] = []
+    for row in report["scenarios"]:
+        if not row["stats_match"]:
+            problems.append(
+                f"{row['scenario']}: fast-path stats differ from step loop"
+            )
+        if row["speedup"] is None or row["speedup"] < 1.0:
+            problems.append(
+                f"{row['scenario']}: speedup {row['speedup']} < 1.0"
+            )
+    return problems
+
+
+def validate_fabric_large(data: Dict[str, Any]) -> List[str]:
+    """Schema check for the ``fabric_large`` section (if present)."""
+    errors: List[str] = []
+    fl = data.get("fabric_large")
+    if fl is None:
+        return errors
+    if fl.get("schema") != FABRIC_LARGE_SCHEMA:
+        errors.append(
+            f"fabric_large schema is {fl.get('schema')!r}, "
+            f"expected {FABRIC_LARGE_SCHEMA!r}"
+        )
+    for mode, report in fl.items():
+        if mode == "schema":
+            continue
+        rows = report.get("scenarios") if isinstance(report, dict) else None
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"fabric_large.{mode} has no scenarios")
+            continue
+        for row in rows:
+            for field in ("scenario", "baseline_wall_s", "fast_wall_s",
+                          "speedup", "stats_match"):
+                if field not in row:
+                    errors.append(
+                        f"fabric_large.{mode} scenario missing {field!r}"
+                    )
+            if row.get("stats_match") is not True:
+                errors.append(
+                    f"fabric_large.{mode}.{row.get('scenario')}: "
+                    "stats_match is not true"
+                )
+    return errors
+
+
+def format_fabric_large(report: Dict[str, Any]) -> str:
+    lines = [
+        f"fabric fast-path bench ({report['mode']} budgets, "
+        f"python {report['python']})",
+        f"{'scenario':<16} {'opt':<20} {'base (s)':>10} {'fast (s)':>10} "
+        f"{'speedup':>9} {'identical':>10}",
+    ]
+    for row in report["scenarios"]:
+        lines.append(
+            f"{row['scenario']:<16} {row['optimized']:<20} "
+            f"{row['baseline_wall_s']:>10.3f} {row['fast_wall_s']:>10.3f} "
+            f"{row['speedup']:>8.1f}x "
+            f"{('yes' if row['stats_match'] else 'NO'):>10}"
+        )
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -202,11 +391,37 @@ def main(
     set_baseline: bool = False,
     check_only: bool = False,
 ) -> int:
-    """Entry point behind ``python -m repro bench``."""
+    """Entry point behind ``python -m repro bench``.
+
+    ``fabric-large`` in ``engines`` selects the fast-path suite; with
+    ``--check`` that suite still *runs* (it is its own correctness
+    check: bit-identity + speedup >= 1), whereas a plain ``--check``
+    only validates the existing results file."""
     path = Path(out) if out is not None else DEFAULT_RESULTS_PATH
-    if check_only:
+    engines = list(engines) if engines else None
+    fabric_large = engines is not None and "fabric-large" in engines
+    kernel_engines = (
+        [e for e in engines if e != "fabric-large"] if engines else None
+    )
+    if fabric_large:
+        report = run_fabric_large(mode=mode)
+        data = merge_fabric_large(load_results(path), report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(format_fabric_large(report))
+        print(f"wrote {path}")
+        if check_only:
+            problems = check_fabric_large(report)
+            for p in problems:
+                print(f"fast-path check failed: {p}", file=sys.stderr)
+            if problems:
+                return 1
+            print("fast-path check ok: all scenarios bit-identical, speedup >= 1")
+        if not kernel_engines:
+            return 0
+    if check_only and not fabric_large:
         data = load_results(path)
-        errors = validate_results(data)
+        errors = validate_results(data) + validate_fabric_large(data)
         if errors:
             for err in errors:
                 print(f"schema error: {err}", file=sys.stderr)
@@ -215,7 +430,7 @@ def main(
         print(f"{path} kernel_bench schema ok; speedups: "
               + (", ".join(f"{k}={v:.2f}x" for k, v in speedups.items()) or "n/a"))
         return 0
-    report = run_bench(mode=mode, engines=engines, repeats=repeats)
+    report = run_bench(mode=mode, engines=kernel_engines, repeats=repeats)
     data = merge_results(load_results(path), report, set_baseline=set_baseline)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(data, indent=2) + "\n")

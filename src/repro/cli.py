@@ -245,9 +245,11 @@ def main(argv=None) -> int:
     bench.add_argument("--quick", action="store_true", help="CI smoke budgets")
     bench.add_argument(
         "--engines",
+        "--engine",
         default=None,
         metavar="E1[,E2...]",
-        help="comma-separated engine subset (default: all three)",
+        help="comma-separated engine subset (default: all three kernel "
+        "engines); 'fabric-large' selects the fabric fast-path suite",
     )
     bench.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
     bench.add_argument(

@@ -138,11 +138,18 @@ class SimConfig:
     pipelined: bool = True  #: header/body overlap (sections 5.2/6.5)
     fidelity: str = "fabric"  #: one of :data:`FIDELITIES`
     seed: int = 0
+    #: Fabric fast path (bit-identical; fabric fidelity only): LRU size
+    #: for allocation memoization (0 disables), and steady-state cycle
+    #: detection + fast-forward for deterministic saturated sources.
+    alloc_cache: int = 0
+    fast_forward: bool = False
     costs: CostModel = field(default=_DEFAULT)
 
     def __post_init__(self):
         if self.ports < 2:
             raise ValueError("a router needs at least 2 ports")
+        if self.alloc_cache < 0:
+            raise ValueError("alloc_cache must be >= 0 (0 disables)")
         if self.networks not in (1, 2):
             raise ValueError("Raw has one or two static networks")
         if self.fidelity not in FIDELITIES:

@@ -17,12 +17,31 @@ The master can never be denied (its claims are first), which yields the
 starvation bound of section 5.4; granted paths are link-disjoint by
 construction, which yields deadlock freedom (section 5.5) -- both are
 checked property-style in the tests.
+
+Fast path (thesis section 6 at runtime)
+---------------------------------------
+The thesis's chapter-6 trick is collapsing the 5^4 x 4 configuration
+space into ~32 reusable switch programs computed once, offline.  The
+runtime mirror here has two tiers, both behind :meth:`Allocator.enable_cache`:
+
+* the **compiled tables** (:class:`CompiledAllocator`) precompute, per
+  (src, dst), the candidate paths' link sets as integer bitmasks plus
+  shared frozen :class:`Grant` objects, so evaluating the rule never
+  rebuilds :class:`~repro.core.ring.Path`/``Link`` objects;
+* an **LRU cache** on ``allocate(requests, token)`` keyed by the exact
+  ``(requests, token)`` tuple, with hit/miss counters, for workloads
+  whose request state recurs (every deterministic saturated pattern).
+
+Both tiers are bit-identical to the uncached rule (property-tested in
+``tests/test_fabric_fastpath.py``): cached :class:`Allocation` objects
+are shared and must be treated as read-only by callers.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.ring import Link, Path, RingGeometry
 
@@ -93,16 +112,68 @@ class Allocator:
         2 (the section-8.1 ablation enabling Raw's second static network).
     """
 
-    def __init__(self, ring: RingGeometry, networks: int = 1):
+    def __init__(self, ring: RingGeometry, networks: int = 1,
+                 cache_size: int = 0):
         if networks not in (1, 2):
             raise ValueError("Raw has one or two static networks")
         self.ring = ring
         self.networks = networks
+        self._compiled: Optional["CompiledAllocator"] = None
+        self._cache: Optional[OrderedDict] = None
+        self._cache_size = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        if cache_size:
+            self.enable_cache(cache_size)
 
     @classmethod
     def from_config(cls, config) -> "Allocator":
         """Build from a :class:`repro.config.SimConfig` (ports + networks)."""
-        return cls(RingGeometry(config.ports), networks=config.networks)
+        return cls(
+            RingGeometry(config.ports),
+            networks=config.networks,
+            cache_size=getattr(config, "alloc_cache", 0),
+        )
+
+    # ------------------------------------------------------------------
+    # Fast path: compiled tables + LRU memoization.
+    # ------------------------------------------------------------------
+    def enable_cache(self, maxsize: int = 4096) -> "Allocator":
+        """Turn on the allocation fast path; returns self for chaining.
+
+        Bit-identical to the uncached rule.  Cached allocations are
+        shared objects: callers must not mutate them."""
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self._cache = OrderedDict()
+        self._cache_size = maxsize
+        self._compiled = self.compiled()
+        return self
+
+    def disable_cache(self) -> None:
+        self._cache = None
+        self._cache_size = 0
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache is not None
+
+    def cache_info(self) -> Dict[str, float]:
+        """Hit/miss counters (the telemetry registry surfaces these)."""
+        total = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "hit_rate": self.cache_hits / total if total else 0.0,
+            "size": len(self._cache) if self._cache is not None else 0,
+            "maxsize": self._cache_size,
+        }
+
+    def compiled(self) -> "CompiledAllocator":
+        """The precomputed-table evaluator (built once, then shared)."""
+        if self._compiled is None:
+            self._compiled = CompiledAllocator(self.ring, self.networks)
+        return self._compiled
 
     def allocate(self, requests: Sequence[Request], token: int) -> Allocation:
         """Compute the quantum's configuration.
@@ -111,6 +182,20 @@ class Allocator:
         Deterministic: every crossbar tile evaluating this with the same
         inputs produces the identical allocation.
         """
+        cache = self._cache
+        if cache is not None:
+            key = (tuple(requests), token)
+            hit = cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                cache.move_to_end(key)
+                return hit
+            self.cache_misses += 1
+            alloc = self._compiled.allocate(requests, token)
+            cache[key] = alloc
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)
+            return alloc
         n = self.ring.n
         if len(requests) != n:
             raise ValueError(f"expected {n} requests, got {len(requests)}")
@@ -150,3 +235,112 @@ class Allocator:
         master is granted in every reachable state."""
         alloc = self.allocate(requests, token)
         return requests[token] is None or token in alloc.grants
+
+
+class CompiledAllocator:
+    """The allocation rule over precomputed per-(src, dst) tables.
+
+    This is thesis section 6 applied at runtime: the candidate paths,
+    their link sets (as integer bitmasks over the ring's directed
+    segments), and the frozen :class:`Grant` objects are all computed
+    once per geometry, so evaluating a quantum touches no
+    ``Path``/``Link`` construction at all.  :meth:`allocate` builds the
+    same :class:`Allocation` the plain rule builds (equality-tested
+    property-style); :meth:`grants` is the stripped form the sharding
+    pilot uses when only the queue evolution matters.
+    """
+
+    def __init__(self, ring: RingGeometry, networks: int = 1):
+        if networks not in (1, 2):
+            raise ValueError("Raw has one or two static networks")
+        self.ring = ring
+        self.networks = networks
+        n = ring.n
+        #: [src][dst] -> tuple of (link_mask, hops, Path, Grant, links);
+        #: candidates in the exact preference order of the plain rule.
+        self.table: List[List[Tuple[Tuple[int, int, Path, Grant, Tuple[Link, ...]], ...]]] = []
+        #: [src][dst] -> (Link("out", dst), Link("in", src)) shared pair.
+        self.io_links: List[List[Tuple[Link, Link]]] = []
+        for src in range(n):
+            row = []
+            io_row = []
+            for dst in range(n):
+                entries = []
+                for path in ring.candidate_paths(src, dst, networks):
+                    mask = 0
+                    for link in path.links:
+                        base = (link.network - 1) * 2 * n
+                        bit = base + (link.index if link.kind == "cw" else n + link.index)
+                        mask |= 1 << bit
+                    entries.append(
+                        (mask, path.hops, path, Grant(src=src, dst=dst, path=path),
+                         path.links)
+                    )
+                row.append(tuple(entries))
+                io_row.append((Link("out", dst), Link("in", src)))
+            self.table.append(row)
+            self.io_links.append(io_row)
+
+    def allocate(self, requests: Sequence[Request], token: int) -> Allocation:
+        """Bit-identical :class:`Allocation` via the compiled tables."""
+        n = self.ring.n
+        if len(requests) != n:
+            raise ValueError(f"expected {n} requests, got {len(requests)}")
+        if not 0 <= token < n:
+            raise ValueError(f"token {token} out of range")
+        alloc = Allocation(token=token, requests=tuple(requests))
+        table = self.table
+        used_links = alloc.used_links
+        used_mask = 0
+        claimed = 0  # bitmask of claimed outputs
+        for offset in range(n):
+            src = (token + offset) % n
+            dst = requests[src]
+            if dst is None:
+                continue
+            if not 0 <= dst < n:
+                raise ValueError(f"request {dst} out of range at input {src}")
+            if claimed >> dst & 1:
+                alloc.blocked.add(src)
+                continue
+            for mask, _hops, _path, grant, links in table[src][dst]:
+                if not mask & used_mask:
+                    break
+            else:
+                alloc.blocked.add(src)
+                continue
+            claimed |= 1 << dst
+            used_mask |= mask
+            used_links.update(links)
+            out_link, in_link = self.io_links[src][dst]
+            used_links.add(out_link)
+            used_links.add(in_link)
+            alloc.grants[src] = grant
+        return alloc
+
+    def grants(self, requests: Sequence[Request], token: int) -> Tuple[Tuple[int, int, int], ...]:
+        """The granted (src, dst, hops) triples, skipping the Allocation.
+
+        Exactly the grants (and grant order is token order, like the
+        plain rule's insertion order) of :meth:`allocate` -- the pilot
+        stepper needs only which queues pop and the expansion numbers.
+        """
+        n = self.ring.n
+        table = self.table
+        used_mask = 0
+        claimed = 0
+        out = []
+        for offset in range(n):
+            src = (token + offset) % n
+            dst = requests[src]
+            if dst is None:
+                continue
+            for mask, hops, _path, _grant, _links in table[src][dst]:
+                if claimed >> dst & 1:
+                    break
+                if not mask & used_mask:
+                    claimed |= 1 << dst
+                    used_mask |= mask
+                    out.append((src, dst, hops))
+                    break
+        return tuple(out)

@@ -8,13 +8,33 @@ clock by the quantum's phase cost, deliver fragments, rotate the token.
 The full router model (:mod:`repro.router`) layers ingress/lookup/egress
 pipelines on top; for saturated inputs both models agree on throughput
 (cross-checked in tests) because the fabric is the bottleneck stage.
+
+Fast path
+---------
+Three cooperating layers make this engine fast at scale, each
+bit-identical to the plain step loop and each independently toggleable:
+
+* **allocation memoization** -- hand the simulator a cached
+  :class:`~repro.core.allocator.Allocator` (``enable_cache()``);
+* **steady-state fast-forward** (``fast_forward=True``) -- for
+  deterministic sources the (queue-contents, token) state recurs with a
+  short period; once a cycle is detected the per-cycle stats delta is
+  applied in closed form over the remaining quanta.  Automatically
+  disabled whenever faults, telemetry recording, ``keep_history``, a
+  stochastic source, or a ``min_packets`` stopping rule are active;
+* **snapshot/restore** (:meth:`FabricSimulator.snapshot` /
+  :meth:`~FabricSimulator.restore`) -- the RNG-free simulator state
+  (queues, clock, token) as a picklable value, enabling
+  :mod:`repro.parallel.fabric_shard`'s time-sliced sharding.
 """
 
 from __future__ import annotations
 
+import struct
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.config import CostModel
 from repro.core.allocator import Allocation, Allocator
@@ -201,6 +221,44 @@ class FabricStats:
         n = sum(self.grant_histogram)
         return total / n if n else 0.0
 
+    # -- fast-forward / sharding support --------------------------------
+    _COUNTER_FIELDS = (
+        "quanta", "idle_quanta", "cycles", "delivered_words",
+        "delivered_packets", "blocked_events",
+    )
+    _VECTOR_FIELDS = ("per_port_words", "per_port_packets", "grant_histogram")
+
+    def counters(self) -> Tuple:
+        """Every accumulated counter as one comparable/subtractable tuple."""
+        return tuple(getattr(self, f) for f in self._COUNTER_FIELDS) + tuple(
+            tuple(getattr(self, f)) for f in self._VECTOR_FIELDS
+        )
+
+    def add_counters(self, other: "FabricStats", times: int = 1) -> None:
+        """Accumulate ``other``'s counters ``times`` times (associative:
+        slices of a timeline merge in any grouping)."""
+        for f in self._COUNTER_FIELDS:
+            setattr(self, f, getattr(self, f) + getattr(other, f) * times)
+        for f in self._VECTOR_FIELDS:
+            mine, theirs = getattr(self, f), getattr(other, f)
+            for i, v in enumerate(theirs):
+                mine[i] += v * times
+
+    def delta_since(self, baseline: Tuple) -> "FabricStats":
+        """The stats accumulated since ``baseline`` (a :meth:`counters`
+        snapshot) as a fresh :class:`FabricStats`."""
+        delta = FabricStats(num_ports=self.num_ports, costs=self.costs)
+        now = self.counters()
+        nscalar = len(self._COUNTER_FIELDS)
+        for i, f in enumerate(self._COUNTER_FIELDS):
+            setattr(delta, f, now[i] - baseline[i])
+        for j, f in enumerate(self._VECTOR_FIELDS):
+            setattr(
+                delta, f,
+                [a - b for a, b in zip(now[nscalar + j], baseline[nscalar + j])],
+            )
+        return delta
+
 
 class FabricSimulator:
     """Drives the Rotating Crossbar over saturated or stochastic inputs.
@@ -217,7 +275,15 @@ class FabricSimulator:
     keep_history:
         Record (requests, allocation) per quantum for fairness analysis
         (costs memory; leave off for long throughput runs).
+    fast_forward:
+        Detect steady-state cycles under deterministic sources and apply
+        the per-cycle stats delta in closed form over the remaining
+        quanta (bit-identical to stepping; see the module docstring for
+        the automatic-disable conditions).
     """
+
+    #: Give up on cycle detection past this many distinct states.
+    FF_MAX_STATES = 4096
 
     def __init__(
         self,
@@ -229,6 +295,7 @@ class FabricSimulator:
         pipelined: bool = True,
         keep_history: bool = False,
         costs: CostModel = CostModel.default(),
+        fast_forward: bool = False,
     ):
         self.costs = costs
         self.ring = ring or RingGeometry(4)
@@ -256,6 +323,10 @@ class FabricSimulator:
         #: included) -- the timeline fault plans are scheduled against.
         self.clock = 0
         self.faults: Optional[_FabricFaultState] = None
+        self.fast_forward = fast_forward
+        #: Quanta skipped by steady-state fast-forward (cumulative).
+        self.ff_quanta = 0
+        self._gauge_registry = None  # registry the gauges were installed in
 
     # ------------------------------------------------------------------
     def install_faults(self, plan, metrics=None) -> Optional[_FabricFaultState]:
@@ -270,6 +341,69 @@ class FabricSimulator:
             metrics = ResilienceMetrics()
         self.faults = _FabricFaultState(plan, self.ring.n, metrics)
         return self.faults
+
+    # ------------------------------------------------------------------
+    # Snapshot/restore: the RNG-free simulator state as a picklable value.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The complete continuation state at a quantum boundary.
+
+        Queues, clock, and token -- everything the step loop reads
+        (stochastic *source* state is the caller's to pair with this;
+        see :mod:`repro.parallel.fabric_shard`).  Fault state is
+        deliberately excluded: snapshotting mid-fault-plan is not
+        supported."""
+        if self.faults is not None:
+            raise ValueError("cannot snapshot a simulator with an armed fault plan")
+        token = self.token
+        return {
+            "clock": self.clock,
+            "queues": [
+                [(f.dest, f.words, f.is_last, f.packet_words) for f in q]
+                for q in self._queues
+            ],
+            "token": {
+                "master": token.master,
+                "rotations": token.rotations,
+                "remaining": getattr(token, "_remaining", None),
+            },
+        }
+
+    def restore(self, snap: Dict[str, Any]) -> "FabricSimulator":
+        """Adopt a :meth:`snapshot`; returns self for chaining."""
+        queues = snap["queues"]
+        if len(queues) != self.ring.n:
+            raise ValueError(
+                f"snapshot has {len(queues)} ports, simulator has {self.ring.n}"
+            )
+        self.clock = snap["clock"]
+        for port, frags in enumerate(queues):
+            q = self._queues[port]
+            q.clear()
+            q.extend(
+                _HolFragment(dest=d, words=w, is_last=last, packet_words=pw)
+                for d, w, last, pw in frags
+            )
+        tstate = snap["token"]
+        self.token._master = tstate["master"]
+        self.token.rotations = tstate["rotations"]
+        if tstate["remaining"] is not None:
+            self.token._remaining = tstate["remaining"]
+        return self
+
+    def _state_key(self):
+        """Hashable steady-state fingerprint: token + full queue contents
+        (the entire input to the next quantum under a deterministic
+        source)."""
+        token = self.token
+        return (
+            token.master,
+            getattr(token, "_remaining", None),
+            tuple(
+                tuple((f.dest, f.words, f.is_last, f.packet_words) for f in q)
+                for q in self._queues
+            ),
+        )
 
     def _refill(self, port: int, source: PortSource) -> None:
         if self._queues[port]:
@@ -310,15 +444,31 @@ class FabricSimulator:
             raise ValueError("need a stopping condition")
         stats = FabricStats(num_ports=self.ring.n, costs=self.costs)
         tel = _telemetry.RECORDER
-        if tel is not None:
-            tel.registry.gauge("fabric.clock", lambda: self.clock)
-            for p, q in enumerate(self._queues):
-                tel.registry.gauge(
-                    f"ingress.{p}.queue_depth", lambda q=q: len(q)
-                )
+        if tel is not None and self._gauge_registry is not tel.registry:
+            # Idempotent per registry: a second run() on the same
+            # simulator must not re-register (regression-tested).
+            self._register_gauges(tel.registry)
+        # Steady-state fast-forward eligibility: only the plain,
+        # fully-observable step loop may be skipped.  Faults, telemetry,
+        # history recording, stochastic sources, and packet-count
+        # stopping all force the step loop (bit-identical to PR 4).
+        ff_seen = (
+            {}
+            if (
+                self.fast_forward
+                and quanta is not None
+                and min_packets is None
+                and self.faults is None
+                and tel is None
+                and not self.keep_history
+                and getattr(source, "deterministic", False)
+            )
+            else None
+        )
+        total = None if quanta is None else quanta + warmup_quanta
         done = 0
         while True:
-            if quanta is not None and done >= quanta + warmup_quanta:
+            if total is not None and done >= total:
                 break
             if (
                 min_packets is not None
@@ -329,9 +479,60 @@ class FabricSimulator:
             measuring = done >= warmup_quanta
             self._step(source, stats if measuring else None)
             done += 1
+            if ff_seen is not None and measuring:
+                key = self._state_key()
+                prev = ff_seen.get(key)
+                if prev is not None:
+                    done += self._apply_fast_forward(stats, prev, done, total)
+                    ff_seen = None  # at most one fast-forward per run
+                else:
+                    ff_seen[key] = (done, stats.counters(), self.clock,
+                                    self.token.rotations)
+                    if len(ff_seen) > self.FF_MAX_STATES:
+                        ff_seen = None  # state space too rich; give up
         if tel is not None:
             tel.registry.snapshot(self.clock)
         return stats
+
+    def _register_gauges(self, registry) -> None:
+        registry.gauge("fabric.clock", lambda: self.clock)
+        for p, q in enumerate(self._queues):
+            registry.gauge(f"ingress.{p}.queue_depth", lambda q=q: len(q))
+        if self.allocator.cache_enabled:
+            registry.gauge(
+                "fabric.alloc_cache.hits", lambda: self.allocator.cache_hits
+            )
+            registry.gauge(
+                "fabric.alloc_cache.misses", lambda: self.allocator.cache_misses
+            )
+        if self.fast_forward:
+            # Always 0 under telemetry (recording forces the step loop);
+            # the gauge documents that the feature was requested.
+            registry.gauge(
+                "fabric.fast_forward.quanta", lambda: self.ff_quanta
+            )
+        self._gauge_registry = registry
+
+    def _apply_fast_forward(
+        self, stats: FabricStats, prev: Tuple, done: int, total: int
+    ) -> int:
+        """The simulator state equals ``prev``'s: every period repeats it
+        exactly, so multiply the per-period deltas over as many whole
+        periods as fit before ``total``.  Returns the quanta skipped."""
+        prev_done, prev_counters, prev_clock, prev_rotations = prev
+        period = done - prev_done
+        cycles = (total - done) // period
+        if cycles <= 0:
+            return 0
+        delta = stats.delta_since(prev_counters)
+        stats.add_counters(delta, times=cycles)
+        self.clock += (self.clock - prev_clock) * cycles
+        self.token.rotations += (
+            self.token.rotations - prev_rotations
+        ) * cycles
+        skipped = cycles * period
+        self.ff_quanta += skipped
+        return skipped
 
     def _step(self, source: PortSource, stats: Optional[FabricStats]) -> None:
         n = self.ring.n
@@ -427,16 +628,26 @@ class FabricSimulator:
 # Canned sources for the common workloads.
 # ---------------------------------------------------------------------------
 def saturated_permutation(words: int, shift: int = 2, n: int = 4) -> PortSource:
-    """Conflict-free peak workload: port i always sends to (i+shift) mod n."""
+    """Conflict-free peak workload: port i always sends to (i+shift) mod n.
+
+    Marked ``deterministic``: the returned destination is a pure function
+    of the port, which is what licenses steady-state fast-forward.
+    """
 
     def source(port: int) -> Tuple[int, int]:
         return ((port + shift) % n, words)
 
+    source.deterministic = True
     return source
 
 
 def saturated_uniform(words: int, rng, n: int = 4, exclude_self: bool = False) -> PortSource:
     """Uniform iid destinations (the thesis's "complete fairness" traffic)."""
+    if exclude_self and n < 2:
+        raise ValueError(
+            "exclude_self needs at least 2 ports: with n=1 every draw is "
+            "the self-destination and the rejection loop never terminates"
+        )
 
     def source(port: int) -> Tuple[int, int]:
         while True:
@@ -445,6 +656,62 @@ def saturated_uniform(words: int, rng, n: int = 4, exclude_self: bool = False) -
                 return (dest, words)
 
     return source
+
+
+class CounterUniformSource:
+    """Uniform iid destinations from counter-based (stateless-replayable)
+    randomness: draw ``k`` for port ``p`` hashes ``(seed, p, k)``.
+
+    Unlike :func:`saturated_uniform` (which consumes a shared sequential
+    RNG), the only mutable state is one draw counter per port, so a run
+    can be snapshot at any quantum boundary and resumed bit-identically
+    in another process -- the property :mod:`repro.parallel.fabric_shard`
+    needs from a stochastic workload.  Not marked ``deterministic``:
+    the destination stream is aperiodic, so fast-forward never applies.
+    """
+
+    deterministic = False
+
+    def __init__(self, words: int, seed: int, n: int = 4,
+                 exclude_self: bool = True):
+        if exclude_self and n < 2:
+            raise ValueError(
+                "exclude_self needs at least 2 ports: with n=1 every draw "
+                "is the self-destination and the rejection loop never "
+                "terminates"
+            )
+        self.words = words
+        self.seed = seed & 0xFFFFFFFF
+        self.n = n
+        self.exclude_self = exclude_self
+        self._draws = [0] * n
+
+    def __call__(self, port: int) -> Tuple[int, int]:
+        k = self._draws[port]
+        n = self.n
+        while True:
+            dest = zlib.crc32(struct.pack("<III", self.seed, port, k)) % n
+            k += 1
+            if not self.exclude_self or dest != port:
+                break
+        self._draws[port] = k
+        return (dest, self.words)
+
+    # -- shard protocol -------------------------------------------------
+    def state(self) -> Tuple[int, ...]:
+        return tuple(self._draws)
+
+    def restore(self, state) -> "CounterUniformSource":
+        if len(state) != self.n:
+            raise ValueError("source state has the wrong port count")
+        self._draws = list(state)
+        return self
+
+
+def saturated_uniform_counter(words: int, seed: int, n: int = 4,
+                              exclude_self: bool = True) -> CounterUniformSource:
+    """The shardable stochastic workload (see :class:`CounterUniformSource`)."""
+    return CounterUniformSource(words, seed, n=n, exclude_self=exclude_self)
 
 
 def saturated_hotspot(words: int, rng, hot: int = 0, p_hot: float = 0.7, n: int = 4) -> PortSource:

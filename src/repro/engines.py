@@ -189,11 +189,17 @@ class FabricEngine(_BaseEngine):
         ring = RingGeometry(self.config.ports)
         from repro.core.allocator import Allocator
 
+        allocator = Allocator(
+            ring,
+            networks=self.config.networks,
+            cache_size=self.config.alloc_cache,
+        )
         sim = FabricSimulator(
             ring=ring,
-            allocator=Allocator(ring, networks=self.config.networks),
+            allocator=allocator,
             pipelined=self.config.pipelined,
             costs=costs,
+            fast_forward=self.config.fast_forward,
         )
         faults = sim.install_faults(workload.fault_plan)
         warmup = (
@@ -212,6 +218,14 @@ class FabricEngine(_BaseEngine):
             "blocked_events": stats.blocked_events,
             "mean_grants_per_quantum": stats.mean_grants_per_quantum,
         }
+        if allocator.cache_enabled or self.config.fast_forward:
+            info = allocator.cache_info() if allocator.cache_enabled else {}
+            extra["fabric_fast_path"] = {
+                "cache_hits": info.get("hits", 0),
+                "cache_misses": info.get("misses", 0),
+                "cache_hit_rate": info.get("hit_rate", 0.0),
+                "ff_quanta": sim.ff_quanta,
+            }
         if faults is not None:
             extra["resilience"] = faults.metrics.to_dict()
         return RunResult(

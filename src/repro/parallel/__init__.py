@@ -1,0 +1,19 @@
+"""Within-run parallelism: split one simulation's timeline across
+processes (unlike :mod:`repro.sweep`, which only parallelizes *across*
+independent cells)."""
+
+from repro.parallel.fabric_shard import (  # noqa: F401
+    ShardedRunInfo,
+    ShardSpec,
+    merge_stats,
+    run_serial,
+    run_sharded,
+)
+
+__all__ = [
+    "ShardSpec",
+    "ShardedRunInfo",
+    "merge_stats",
+    "run_serial",
+    "run_sharded",
+]

@@ -1,0 +1,283 @@
+"""Time-sliced sharding of one fabric run across processes.
+
+:mod:`repro.sweep` parallelizes *across* independent cells; this module
+is the repository's first *within-run* parallelism: one long
+:class:`~repro.core.fabricsim.FabricSimulator` timeline is split at
+quantum boundaries and the slices are simulated concurrently.  The
+lockstep fabric makes this natural -- a quantum boundary is a complete
+synchronization point, so the continuation state is exactly
+:meth:`FabricSimulator.snapshot` (queues, clock, token) plus the
+workload source's replay state.
+
+Protocol (all three stages bit-identical to the plain step loop):
+
+1. **Pilot pass** -- a stripped stepper (compiled allocation tables,
+   no stats, no fault hooks) walks the timeline once and records a
+   snapshot at each slice boundary.  The pilot only needs the queue/
+   token/clock evolution, so it runs several times faster per quantum
+   than the full step loop.
+2. **Workers** -- each process restores a checkpoint and re-simulates
+   its contiguous slice with the full step loop, collecting
+   :class:`~repro.core.fabricsim.FabricStats` for its quanta only (the
+   pilot already absorbed warmup, so every slice measures).
+3. **Merge** -- per-slice stats are added field-wise; the merge is
+   associative, so any slicing of the timeline yields the same totals
+   as the serial run (equality-tested in ``tests/test_fabric_fastpath.py``).
+
+Workloads must be replayable from explicit state: the deterministic
+saturated patterns trivially are, and
+:class:`~repro.core.fabricsim.CounterUniformSource` is the stochastic
+workload built for exactly this (per-port draw counters instead of a
+shared sequential RNG).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import CostModel
+from repro.core.allocator import Allocator
+from repro.core.fabricsim import (
+    FabricSimulator,
+    FabricStats,
+    _HolFragment,
+    saturated_permutation,
+    saturated_uniform_counter,
+)
+from repro.core.phases import idle_quantum_cycles, quantum_cycles
+from repro.core.ring import RingGeometry
+from repro.core.token import RotatingToken
+from repro.telemetry import runtime as _telemetry
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A picklable description of one shardable fabric run.
+
+    ``source`` is a declarative workload: ``{"kind": "permutation",
+    "words": W, "shift": k}`` or ``{"kind": "uniform_counter",
+    "words": W, "seed": s, "exclude_self": bool}``.
+    """
+
+    ports: int = 4
+    networks: int = 1
+    pipelined: bool = True
+    max_quantum_words: Optional[int] = None
+    costs: CostModel = field(default_factory=CostModel.default)
+    source: Tuple[Tuple[str, Any], ...] = (("kind", "permutation"), ("words", 256))
+    quanta: int = 2000
+    warmup_quanta: int = 200
+    shards: int = 4
+    cache_size: int = 4096  #: allocation LRU in the workers (0 disables)
+
+    def source_dict(self) -> Dict[str, Any]:
+        return dict(self.source)
+
+    @staticmethod
+    def pack_source(source: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+        """Dict -> hashable/picklable tuple form for the frozen spec."""
+        return tuple(sorted(source.items()))
+
+
+@dataclass
+class ShardedRunInfo:
+    """How a sharded run was actually executed."""
+
+    shards: int
+    workers: int
+    pilot_quanta: int
+    slice_lengths: List[int]
+
+
+def make_source(spec: ShardSpec):
+    src = spec.source_dict()
+    kind = src["kind"]
+    if kind == "permutation":
+        return saturated_permutation(
+            src["words"], shift=src.get("shift", 2), n=spec.ports
+        )
+    if kind == "uniform_counter":
+        return saturated_uniform_counter(
+            src["words"],
+            src["seed"],
+            n=spec.ports,
+            exclude_self=src.get("exclude_self", True),
+        )
+    raise ValueError(f"unknown shardable source kind {kind!r}")
+
+
+def build_sim(spec: ShardSpec, cached: bool = True) -> FabricSimulator:
+    ring = RingGeometry(spec.ports)
+    allocator = Allocator(
+        ring,
+        networks=spec.networks,
+        cache_size=spec.cache_size if cached else 0,
+    )
+    return FabricSimulator(
+        ring=ring,
+        allocator=allocator,
+        token=RotatingToken(spec.ports),
+        max_quantum_words=spec.max_quantum_words,
+        pipelined=spec.pipelined,
+        costs=spec.costs,
+    )
+
+
+def run_serial(spec: ShardSpec, cached: bool = False) -> FabricStats:
+    """The plain step loop over the whole timeline (the bit-identity
+    reference; ``cached=False`` is the unoptimized baseline)."""
+    sim = build_sim(spec, cached=cached)
+    return sim.run(
+        make_source(spec), quanta=spec.quanta, warmup_quanta=spec.warmup_quanta
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: the pilot pass.
+# ---------------------------------------------------------------------------
+def _pilot_checkpoints(
+    sim: FabricSimulator, source, boundaries: List[int]
+) -> Dict[int, Tuple[Dict[str, Any], Optional[Tuple[int, ...]]]]:
+    """Step ``sim`` to each boundary with the stripped stepper, recording
+    ``(simulator snapshot, source state)`` checkpoints.
+
+    The queue/token evolution must match
+    :meth:`FabricSimulator._step` exactly (fault-free path): same
+    refills, same grants (compiled tables, property-tested identical),
+    same pops, same clock arithmetic.
+    """
+    comp = sim.allocator.compiled()
+    grants_of = comp.grants
+    queues = sim._queues
+    token = sim.token
+    n = sim.ring.n
+    mqw = sim.max_quantum_words
+    ctl = quantum_cycles(0, 0, sim.timing, sim.pipelined, costs=sim.costs)
+    idle = idle_quantum_cycles(sim.timing)
+    checkpoints: Dict[int, Tuple[Dict[str, Any], Optional[Tuple[int, ...]]]] = {}
+    wanted = set(boundaries)
+    last = max(boundaries)
+    ports = range(n)
+    for q in range(last + 1):
+        if q in wanted:
+            checkpoints[q] = (
+                sim.snapshot(),
+                source.state() if hasattr(source, "state") else None,
+            )
+            if q == last:
+                break
+        for port in ports:
+            if not queues[port]:
+                pkt = source(port)
+                if pkt is not None:
+                    dest, words = pkt
+                    remaining = words
+                    while remaining > 0:
+                        w = min(remaining, mqw)
+                        remaining -= w
+                        queues[port].append(
+                            _HolFragment(
+                                dest=dest,
+                                words=w,
+                                is_last=remaining == 0,
+                                packet_words=words,
+                            )
+                        )
+        requests = tuple(
+            queues[p][0].dest if queues[p] else None for p in ports
+        )
+        if all(r is None for r in requests):
+            sim.clock += idle
+            token.advance()
+            continue
+        body = 0
+        granted = grants_of(requests, token.master)
+        for src_port, _dst, hops in granted:
+            w = queues[src_port][0].words + hops
+            if w > body:
+                body = w
+        sim.clock += ctl + body
+        for src_port, _dst, _hops in granted:
+            queues[src_port].popleft()
+        token.advance()
+    return checkpoints
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: the worker entry point (importable for multiprocessing).
+# ---------------------------------------------------------------------------
+def _run_slice(payload) -> FabricStats:
+    spec, snapshot, source_state, count = payload
+    sim = build_sim(spec, cached=True).restore(snapshot)
+    source = make_source(spec)
+    if source_state is not None:
+        source.restore(source_state)
+    return sim.run(source, quanta=count, warmup_quanta=0)
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: the merge.
+# ---------------------------------------------------------------------------
+def merge_stats(parts: List[FabricStats]) -> FabricStats:
+    """Field-wise associative merge of contiguous-slice stats."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    out = FabricStats(num_ports=parts[0].num_ports, costs=parts[0].costs)
+    for part in parts:
+        if part.num_ports != out.num_ports:
+            raise ValueError("cannot merge stats with different port counts")
+        out.add_counters(part)
+    return out
+
+
+def run_sharded(
+    spec: ShardSpec, workers: Optional[int] = None
+) -> Tuple[FabricStats, ShardedRunInfo]:
+    """Pilot -> parallel slices -> merged stats (bit-identical to
+    :func:`run_serial`).
+
+    ``workers`` defaults to ``min(shards, cpu_count)``; with one worker
+    the slices run in-process (same protocol, no pool).  Refuses to run
+    under an active telemetry recorder: the sliced timeline would emit a
+    permuted event stream, and the step loop is the observable path.
+    """
+    if _telemetry.RECORDER is not None:
+        raise ValueError(
+            "sharded runs require telemetry off (the step loop is the "
+            "observable, bit-identical path)"
+        )
+    shards = max(1, min(spec.shards, spec.quanta))
+    if workers is None:
+        workers = min(shards, os.cpu_count() or 1)
+    base, rem = divmod(spec.quanta, shards)
+    slice_lengths = [base + 1] * rem + [base] * (shards - rem)
+    boundaries = []
+    start = spec.warmup_quanta
+    for length in slice_lengths:
+        boundaries.append(start)
+        start += length
+    pilot_sim = build_sim(spec, cached=True)
+    pilot_source = make_source(spec)
+    checkpoints = _pilot_checkpoints(pilot_sim, pilot_source, boundaries)
+    payloads = [
+        (spec, *checkpoints[b], length)
+        for b, length in zip(boundaries, slice_lengths)
+        if length > 0
+    ]
+    if workers > 1 and len(payloads) > 1:
+        import multiprocessing as mp
+
+        with mp.Pool(processes=workers) as pool:
+            parts = pool.map(_run_slice, payloads, chunksize=1)
+    else:
+        workers = 1
+        parts = [_run_slice(p) for p in payloads]
+    info = ShardedRunInfo(
+        shards=shards,
+        workers=workers,
+        pilot_quanta=max(boundaries),
+        slice_lengths=slice_lengths,
+    )
+    return merge_stats(parts), info

@@ -212,8 +212,17 @@ def summarize(table: Dict[str, Any]) -> str:
     for row in table["rows"]:
         cell = " ".join(f"{k}={v}" for k, v in sorted(row["cell"].items()))
         res = row["result"]
-        lines.append(
+        line = (
             f"  {cell:<40} {res['gbps']:8.3f} Gbps  {res['mpps']:7.3f} Mpps  "
             f"{res['delivered_packets']} pkts / {res['cycles']} cycles"
         )
+        fp = res.get("extra", {}).get("fabric_fast_path") or row.get(
+            "telemetry", {}
+        ).get("fabric_fast_path")
+        if fp:
+            line += (
+                f"  [cache {fp['cache_hit_rate'] * 100:.0f}% hit, "
+                f"ff {fp['ff_quanta']}q]"
+            )
+        lines.append(line)
     return "\n".join(lines)

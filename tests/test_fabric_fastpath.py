@@ -1,0 +1,384 @@
+"""Fabric fast path: allocation cache, compiled tables, steady-state
+fast-forward, snapshot/restore, and time-sliced sharding.
+
+The contract under test everywhere: every fast-path layer is
+*bit-identical* to the plain step loop -- same Allocation objects, same
+FabricStats fields, same clock and token state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.core.allocator import Allocator, CompiledAllocator
+from repro.core.fabricsim import (
+    CounterUniformSource,
+    FabricSimulator,
+    FabricStats,
+    saturated_permutation,
+    saturated_uniform,
+    saturated_uniform_counter,
+)
+from repro.core.ring import RingGeometry
+from repro.core.token import RotatingToken
+from repro.engines import WorkloadSpec, run_config
+from repro.faults import FaultEvent, FaultPlan
+from repro.parallel import ShardSpec, merge_stats, run_serial, run_sharded
+from repro.telemetry import runtime
+
+
+@st.composite
+def alloc_cases(draw):
+    """(n, networks, requests, token) over ring sizes 4/8/16."""
+    n = draw(st.sampled_from((4, 8, 16)))
+    networks = draw(st.sampled_from((1, 2)))
+    requests = tuple(
+        draw(st.one_of(st.none(), st.integers(0, n - 1))) for _ in range(n)
+    )
+    token = draw(st.integers(0, n - 1))
+    return n, networks, requests, token
+
+
+def assert_stats_identical(a: FabricStats, b: FabricStats) -> None:
+    """Field-for-field equality of every accumulated statistic."""
+    for f in FabricStats._COUNTER_FIELDS:
+        assert getattr(a, f) == getattr(b, f), f
+    for f in FabricStats._VECTOR_FIELDS:
+        assert list(getattr(a, f)) == list(getattr(b, f)), f
+    assert a.gbps == b.gbps
+    assert a.mpps == b.mpps
+
+
+class TestAllocationCache:
+    @given(alloc_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_cached_allocator_bit_identical(self, case):
+        n, networks, requests, token = case
+        ring = RingGeometry(n)
+        plain = Allocator(ring, networks=networks)
+        fast = Allocator(ring, networks=networks, cache_size=64)
+        ref = plain.allocate(requests, token)
+        miss = fast.allocate(requests, token)
+        hit = fast.allocate(requests, token)
+        assert miss == ref
+        assert hit == ref
+        assert hit is miss  # the cached object is shared
+        assert fast.cache_hits == 1 and fast.cache_misses == 1
+
+    @given(alloc_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_compiled_grants_match_allocation(self, case):
+        n, networks, requests, token = case
+        ring = RingGeometry(n)
+        comp = CompiledAllocator(ring, networks)
+        alloc = Allocator(ring, networks=networks).allocate(requests, token)
+        expected = tuple(
+            (g.src, g.dst, g.expansion) for g in alloc.grants.values()
+        )
+        assert comp.grants(requests, token) == expected
+
+    def test_lru_eviction_bound(self):
+        ring = RingGeometry(4)
+        alloc = Allocator(ring, cache_size=4)
+        for token in range(4):
+            for dst in range(4):
+                alloc.allocate((dst, None, None, None), token)
+        info = alloc.cache_info()
+        assert info["size"] <= 4
+        assert info["maxsize"] == 4
+        assert info["misses"] == 16
+
+    def test_hit_rate_on_recurring_workload(self):
+        sim = FabricSimulator(allocator=Allocator(RingGeometry(4), cache_size=64))
+        sim.run(saturated_permutation(64, shift=1), quanta=100)
+        info = sim.allocator.cache_info()
+        # One distinct (requests, token) key per token position.
+        assert info["hits"] + info["misses"] == 100
+        assert info["hit_rate"] > 0.9
+
+    def test_enable_disable(self):
+        alloc = Allocator(RingGeometry(4))
+        assert not alloc.cache_enabled
+        alloc.enable_cache(16)
+        assert alloc.cache_enabled
+        alloc.disable_cache()
+        assert not alloc.cache_enabled
+        with pytest.raises(ValueError):
+            alloc.enable_cache(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(alloc_cache=-1)
+
+
+class TestFastForward:
+    @pytest.mark.parametrize(
+        "n,shift,words",
+        [(4, 2, 256), (8, 3, 64), (16, 8, 256), (8, 1, 600)],
+    )
+    def test_bit_identical_to_stepping(self, n, shift, words):
+        """words=600 > max_quantum_words exercises fragmented packets."""
+        source = saturated_permutation(words, shift=shift, n=n)
+        ring = RingGeometry(n)
+        stepped_sim = FabricSimulator(ring=ring, token=RotatingToken(n))
+        stepped = stepped_sim.run(source, quanta=700, warmup_quanta=60)
+        ff_sim = FabricSimulator(
+            ring=ring, token=RotatingToken(n), fast_forward=True
+        )
+        ff = ff_sim.run(source, quanta=700, warmup_quanta=60)
+        assert ff_sim.ff_quanta > 0
+        assert_stats_identical(stepped, ff)
+        assert ff_sim.clock == stepped_sim.clock
+        assert ff_sim.token.rotations == stepped_sim.token.rotations
+        assert ff_sim.token.master == stepped_sim.token.master
+
+    def test_disabled_for_stochastic_source(self):
+        sim = FabricSimulator(fast_forward=True)
+        sim.run(saturated_uniform_counter(64, seed=7), quanta=200)
+        assert sim.ff_quanta == 0
+
+    def test_disabled_under_keep_history(self):
+        sim = FabricSimulator(keep_history=True, fast_forward=True)
+        sim.run(saturated_permutation(64, shift=1), quanta=120)
+        assert sim.ff_quanta == 0
+        assert len(sim.history) == 120
+
+    def test_disabled_under_telemetry(self):
+        with runtime.capture():
+            sim = FabricSimulator(fast_forward=True)
+            sim.run(saturated_permutation(64, shift=1), quanta=120)
+        assert sim.ff_quanta == 0
+
+    def test_disabled_under_min_packets_stopping(self):
+        sim = FabricSimulator(fast_forward=True)
+        stats = sim.run(saturated_permutation(64, shift=1), min_packets=50)
+        assert sim.ff_quanta == 0
+        assert stats.delivered_packets >= 50
+
+    def test_disabled_under_faults_and_still_bit_identical(self):
+        plan = FaultPlan(
+            events=(FaultEvent(cycle=2_000, kind="token_loss"),)
+        )
+        source = saturated_permutation(64, shift=1)
+        ref_sim = FabricSimulator()
+        ref_sim.install_faults(plan)
+        ref = ref_sim.run(source, quanta=300)
+        ff_sim = FabricSimulator(fast_forward=True)
+        ff_sim.install_faults(plan)
+        got = ff_sim.run(source, quanta=300)
+        assert ff_sim.ff_quanta == 0
+        assert_stats_identical(ref, got)
+
+
+class TestSnapshotRestore:
+    def test_continuation_is_bit_identical(self):
+        source = saturated_permutation(128, shift=2, n=8)
+        whole_sim = FabricSimulator(ring=RingGeometry(8), token=RotatingToken(8))
+        whole = whole_sim.run(source, quanta=300, warmup_quanta=100)
+
+        first = FabricSimulator(ring=RingGeometry(8), token=RotatingToken(8))
+        first.run(source, quanta=100, warmup_quanta=0)  # the warmup region
+        snap = first.snapshot()
+        resumed = FabricSimulator(ring=RingGeometry(8), token=RotatingToken(8))
+        resumed.restore(snap)
+        cont = resumed.run(source, quanta=300, warmup_quanta=0)
+        assert_stats_identical(whole, cont)
+        assert resumed.clock == whole_sim.clock
+
+    def test_snapshot_refuses_armed_faults(self):
+        sim = FabricSimulator()
+        sim.install_faults(
+            FaultPlan(events=(FaultEvent(cycle=10, kind="token_loss"),))
+        )
+        with pytest.raises(ValueError):
+            sim.snapshot()
+
+    def test_restore_rejects_wrong_port_count(self):
+        snap = FabricSimulator(ring=RingGeometry(8)).snapshot()
+        with pytest.raises(ValueError):
+            FabricSimulator(ring=RingGeometry(4)).restore(snap)
+
+    def test_counter_source_state_roundtrip(self):
+        src = CounterUniformSource(64, seed=11, n=4)
+        draws = [src(p) for p in (0, 1, 2, 0, 3)]
+        state = src.state()
+        more = [src(p) for p in (0, 1, 2)]
+        replay = CounterUniformSource(64, seed=11, n=4).restore(state)
+        assert [replay(p) for p in (0, 1, 2)] == more
+        assert draws[0] != (0, 64)  # exclude_self held
+
+
+class TestSharding:
+    def test_permutation_sharded_equals_serial(self):
+        spec = ShardSpec(
+            ports=8,
+            source=ShardSpec.pack_source(
+                {"kind": "permutation", "words": 256, "shift": 3}
+            ),
+            quanta=400, warmup_quanta=50, shards=4,
+        )
+        serial = run_serial(spec)
+        merged, info = run_sharded(spec)
+        assert_stats_identical(serial, merged)
+        assert info.slice_lengths == [100, 100, 100, 100]
+
+    def test_stochastic_sharded_equals_serial_with_odd_slicing(self):
+        spec = ShardSpec(
+            ports=16,
+            source=ShardSpec.pack_source(
+                {"kind": "uniform_counter", "words": 256, "seed": 42,
+                 "exclude_self": True}
+            ),
+            quanta=331, warmup_quanta=17, shards=5,
+        )
+        serial = run_serial(spec)
+        merged, info = run_sharded(spec)
+        assert_stats_identical(serial, merged)
+        assert sum(info.slice_lengths) == 331
+
+    def test_merge_is_associative(self):
+        spec = ShardSpec(
+            ports=4,
+            source=ShardSpec.pack_source(
+                {"kind": "uniform_counter", "words": 64, "seed": 3,
+                 "exclude_self": True}
+            ),
+            quanta=120, warmup_quanta=0, shards=3,
+        )
+        merged, _ = run_sharded(spec)
+        # Re-run the slices serially to get the parts, then regroup.
+        from repro.parallel.fabric_shard import (
+            _pilot_checkpoints, _run_slice, build_sim, make_source,
+        )
+
+        checkpoints = _pilot_checkpoints(
+            build_sim(spec), make_source(spec), [0, 40, 80]
+        )
+        parts = [
+            _run_slice((spec, *checkpoints[b], 40)) for b in (0, 40, 80)
+        ]
+        left = merge_stats([merge_stats(parts[:2]), parts[2]])
+        right = merge_stats([parts[0], merge_stats(parts[1:])])
+        flat = merge_stats(parts)
+        assert left.counters() == right.counters() == flat.counters()
+        assert flat.counters() == merged.counters()
+
+    def test_refuses_active_telemetry(self):
+        spec = ShardSpec(quanta=40, warmup_quanta=0, shards=2)
+        with runtime.capture():
+            with pytest.raises(ValueError):
+                run_sharded(spec)
+
+    def test_unknown_source_kind(self):
+        spec = ShardSpec(source=ShardSpec.pack_source({"kind": "nope"}))
+        with pytest.raises(ValueError):
+            run_serial(spec)
+
+
+class TestSourceGuards:
+    def test_saturated_uniform_rejects_self_only_ring(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            saturated_uniform(64, rng, n=1, exclude_self=True)
+
+    def test_counter_uniform_rejects_self_only_ring(self):
+        with pytest.raises(ValueError):
+            CounterUniformSource(64, seed=0, n=1, exclude_self=True)
+
+    def test_n1_allowed_without_exclusion(self):
+        rng = np.random.default_rng(0)
+        source = saturated_uniform(64, rng, n=1, exclude_self=False)
+        assert source(0) == (0, 64)
+
+
+class TestGaugeRegistration:
+    def test_rerun_does_not_reregister(self):
+        """Regression: run() used to re-register fabric.clock and the
+        ingress queue-depth gauges on every invocation."""
+        with runtime.capture() as tel:
+            sim = FabricSimulator(
+                allocator=Allocator(RingGeometry(4), cache_size=16)
+            )
+            source = saturated_permutation(64, shift=1)
+            sim.run(source, quanta=20)
+            registered = []
+            orig = tel.registry.gauge
+
+            def spy(name, fn):
+                registered.append(name)
+                orig(name, fn)
+
+            tel.registry.gauge = spy
+            try:
+                sim.run(source, quanta=20)
+            finally:
+                tel.registry.gauge = orig
+            assert registered == []
+            assert tel.registry.read_gauge("fabric.clock") == sim.clock
+            assert tel.registry.read_gauge("fabric.alloc_cache.hits") == (
+                sim.allocator.cache_hits
+            )
+
+    def test_new_registry_gets_fresh_gauges(self):
+        sim = FabricSimulator(fast_forward=True)
+        source = saturated_permutation(64, shift=1)
+        with runtime.capture() as tel1:
+            sim.run(source, quanta=10)
+            assert tel1.registry.read_gauge("fabric.clock") == sim.clock
+        with runtime.capture() as tel2:
+            sim.run(source, quanta=10)
+            assert tel2.registry.read_gauge("fabric.clock") == sim.clock
+            assert tel2.registry.read_gauge("fabric.fast_forward.quanta") == 0
+
+
+class TestWiring:
+    def test_engine_reports_fast_path_and_stays_bit_identical(self):
+        workload = WorkloadSpec(pattern="permutation", quanta=250)
+        plain = run_config(SimConfig(fidelity="fabric"), workload)
+        fast = run_config(
+            SimConfig(fidelity="fabric", alloc_cache=1024, fast_forward=True),
+            workload,
+        )
+        assert "fabric_fast_path" not in plain.extra
+        fp = fast.extra["fabric_fast_path"]
+        assert fp["ff_quanta"] > 0
+        assert 0.0 <= fp["cache_hit_rate"] <= 1.0
+        assert fast.cycles == plain.cycles
+        assert fast.delivered_packets == plain.delivered_packets
+        assert fast.gbps == plain.gbps
+        assert fast.per_port_packets == plain.per_port_packets
+
+    def test_telemetry_summary_carries_fast_path(self):
+        with runtime.capture() as tel:
+            sim = FabricSimulator(
+                allocator=Allocator(RingGeometry(4), cache_size=64)
+            )
+            sim.run(saturated_permutation(64, shift=1), quanta=50)
+            summary = tel.summary()
+        fp = summary["fabric_fast_path"]
+        assert fp["cache_hits"] == sim.allocator.cache_hits
+        assert fp["cache_misses"] == sim.allocator.cache_misses
+        assert fp["ff_quanta"] == 0  # telemetry forces the step loop
+
+    def test_sweep_summary_line_shows_fast_path(self):
+        from repro.sweep import summarize
+
+        table = {
+            "sweep": {"cells": 1, "workers": 1, "worker_pids": [1]},
+            "rows": [{
+                "cell": {"ports": 4},
+                "result": {
+                    "gbps": 1.0, "mpps": 0.5, "delivered_packets": 10,
+                    "cycles": 100,
+                    "extra": {"fabric_fast_path": {
+                        "cache_hits": 9, "cache_misses": 1,
+                        "cache_hit_rate": 0.9, "ff_quanta": 40,
+                    }},
+                },
+            }],
+        }
+        text = summarize(table)
+        assert "cache 90% hit" in text
+        assert "ff 40q" in text
