@@ -52,8 +52,10 @@ class CellModeBackplane:
         rng: np.random.Generator,
         scheduler: Optional[Scheduler] = None,
     ):
+        from repro.traffic.build import size_distribution
+
         self.n = num_ports
-        self.sizes = sizes
+        self.sizes = size_distribution(sizes, rng)
         self.rng = rng
         self.scheduler = scheduler or iSLIPScheduler(num_ports, iterations=2)
         # voq[i][j]: deque of remaining-cells counters (one per packet).
@@ -101,8 +103,10 @@ class PacketModeBackplane:
         sizes: SizeDistribution,
         rng: np.random.Generator,
     ):
+        from repro.traffic.build import size_distribution
+
         self.n = num_ports
-        self.sizes = sizes
+        self.sizes = size_distribution(sizes, rng)
         self.rng = rng
         self.head: List[Optional[Tuple[int, int]]] = [None] * num_ports  # (dst, cells)
         self.busy_in = [0] * num_ports  # remaining slots of the held transfer

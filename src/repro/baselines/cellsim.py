@@ -50,28 +50,35 @@ class SwitchResult:
 
 
 class _BaseSwitch:
-    def __init__(self, num_ports: int, rng: np.random.Generator):
+    def __init__(self, num_ports: int, rng: np.random.Generator, arrivals=None):
         if num_ports < 2:
             raise ValueError("need at least two ports")
         self.n = num_ports
         self.rng = rng
+        if arrivals is None:
+            # The historical shared-generator draw order (seeded
+            # chapter-2 results depend on it).
+            from repro.traffic.build import slot_arrivals
+
+            arrivals = slot_arrivals(num_ports, rng)
+        self.arrival_process = arrivals
 
     def _arrivals(self, load: float) -> List[Optional[int]]:
         """Per-input Bernoulli arrival with a uniform destination."""
-        out: List[Optional[int]] = []
-        for _ in range(self.n):
-            if self.rng.random() < load:
-                out.append(int(self.rng.integers(0, self.n)))
-            else:
-                out.append(None)
-        return out
+        return self.arrival_process.slot(load)
 
 
 class VOQSwitch(_BaseSwitch):
     """Virtual-output-queued crossbar driven by a matching scheduler."""
 
-    def __init__(self, num_ports: int, scheduler: Scheduler, rng: np.random.Generator):
-        super().__init__(num_ports, rng)
+    def __init__(
+        self,
+        num_ports: int,
+        scheduler: Scheduler,
+        rng: np.random.Generator,
+        arrivals=None,
+    ):
+        super().__init__(num_ports, rng, arrivals=arrivals)
         if scheduler.n != num_ports:
             raise ValueError("scheduler port count mismatch")
         self.scheduler = scheduler
@@ -116,8 +123,8 @@ class FIFOSwitch(_BaseSwitch):
     grows (Karol et al.), the number the thesis quotes via McKeown.
     """
 
-    def __init__(self, num_ports: int, rng: np.random.Generator):
-        super().__init__(num_ports, rng)
+    def __init__(self, num_ports: int, rng: np.random.Generator, arrivals=None):
+        super().__init__(num_ports, rng, arrivals=arrivals)
         self.fifo: List[Deque[tuple]] = [deque() for _ in range(num_ports)]
         self._rr = 0
 
@@ -160,8 +167,8 @@ class OutputQueuedSwitch(_BaseSwitch):
     input queueing); here it bounds what any scheduler can achieve.
     """
 
-    def __init__(self, num_ports: int, rng: np.random.Generator):
-        super().__init__(num_ports, rng)
+    def __init__(self, num_ports: int, rng: np.random.Generator, arrivals=None):
+        super().__init__(num_ports, rng, arrivals=arrivals)
         self.outq: List[Deque[int]] = [deque() for _ in range(num_ports)]
 
     def run(self, slots: int, load: float, warmup: int = 0) -> SwitchResult:

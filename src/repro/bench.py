@@ -141,6 +141,10 @@ FABRIC_LARGE_SCENARIOS: Dict[str, List[Dict[str, Any]]] = {
         {"name": "saturated_n32", "ports": 32, "quanta": 8_000, "warmup": 200,
          "source": {"kind": "permutation", "words": 256, "shift": 16},
          "optimized": "cache+fast_forward"},
+        {"name": "imix_onoff_n16", "ports": 16, "quanta": 12_000,
+         "warmup": 200,
+         "source": {"kind": "traffic", "spec": "imix_onoff", "seed": 7},
+         "optimized": "cache+sharded", "shards": 8},
     ],
     "quick": [
         {"name": "saturated_n16", "ports": 16, "quanta": 2_500, "warmup": 100,
@@ -149,6 +153,9 @@ FABRIC_LARGE_SCENARIOS: Dict[str, List[Dict[str, Any]]] = {
         {"name": "uniform_n16", "ports": 16, "quanta": 1_500, "warmup": 100,
          "source": {"kind": "uniform_counter", "words": 256, "seed": 42,
                     "exclude_self": True},
+         "optimized": "cache+sharded", "shards": 4},
+        {"name": "imix_onoff_n16", "ports": 16, "quanta": 1_500, "warmup": 100,
+         "source": {"kind": "traffic", "spec": "imix_onoff", "seed": 7},
          "optimized": "cache+sharded", "shards": 4},
     ],
 }

@@ -208,6 +208,7 @@ def _cmd_sweep(args) -> int:
         packet_bytes=args.bytes,
         quanta=args.quanta,
         fault_plan=args.fault_plan,
+        traffic=args.traffic,
     )
     try:
         table = run_sweep(
@@ -310,6 +311,45 @@ def main(argv=None) -> int:
         help="bench results file for the overhead reference "
         "(default benchmarks/BENCH_results.json)",
     )
+    trace.add_argument(
+        "--stats-out",
+        default=None,
+        metavar="STATS.json",
+        help="write the per-stage latency table as JSON "
+        "(schema repro-trace-stats/1)",
+    )
+    trace.add_argument(
+        "--baseline",
+        default=None,
+        metavar="OLD.json",
+        help="diff this run's stage latencies against a prior --stats-out "
+        "file and flag the biggest mover",
+    )
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded flow trace (.csv/.jsonl) through the "
+        "fabric -- serial, sharded, and (4-port traces) word-level",
+    )
+    replay.add_argument("trace", help="flow-record trace: .csv or .jsonl")
+    replay.add_argument("--quanta", type=int, default=600, help="fabric budget")
+    replay.add_argument(
+        "--cycles", type=int, default=24_000, help="word-level cycle budget"
+    )
+    replay.add_argument("--shards", type=int, default=4, help="time slices")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless serial reruns and the sharded run "
+        "produce identical stats",
+    )
+    replay.add_argument(
+        "--stats-out",
+        default=None,
+        metavar="STATS.json",
+        help="write the replay stats document "
+        "(schema repro-replay-stats/1)",
+    )
     sweep = sub.add_parser(
         "sweep", help="fan a config grid across multiprocessing workers"
     )
@@ -338,6 +378,15 @@ def main(argv=None) -> int:
     )
     sweep.add_argument("--bytes", type=int, default=1024, help="packet size")
     sweep.add_argument("--quanta", type=int, default=2000, help="routing quanta budget")
+    sweep.add_argument(
+        "--traffic",
+        default=None,
+        metavar="SPEC",
+        help="declarative workload for every cell: a preset name "
+        "(imix, imix_onoff, bursty, hotspot_drift, ...), a TrafficSpec "
+        ".json path, or a .csv/.jsonl trace to replay; overrides "
+        "--pattern/--bytes (cells can also sweep `traffic=...` as an axis)",
+    )
     sweep.add_argument(
         "--fault-plan",
         default=None,
@@ -390,6 +439,10 @@ def main(argv=None) -> int:
         return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "replay":
+        from repro.traffic import replay as replay_mod
+
+        return replay_mod.main(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "sweep":

@@ -29,23 +29,32 @@ from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
 from repro.config import CostModel, SimConfig
 
-#: Traffic pattern names understood by every engine.
+#: Traffic pattern names understood by every engine (the deprecated
+#: flat-kwargs surface; the ``traffic=`` spec supersedes it).
 PATTERNS = ("permutation", "uniform", "hotspot")
+
+#: Schema tag on :meth:`WorkloadSpec.to_dict`; bump on breaking changes.
+WORKLOAD_SCHEMA = "repro-workload/1"
 
 
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A declarative, picklable workload description.
 
-    ``pattern`` selects the destination process (conflict-free
-    permutation by ``shift``, iid uniform, or a hotspot output);
-    saturated arrivals throughout -- the regime of the thesis's
-    chapter-7 measurements.  The budget fields are interpreted by
-    fidelity: ``quanta`` bounds the fabric engine, ``packets`` the
-    phase-level router (defaults to ``quanta`` deliveries), ``cycles``
-    the word-level model.  ``None`` warmups pick each engine's
-    historical default so results stay comparable with the seed's
-    experiment harness.
+    ``traffic`` is the workload proper: a
+    :class:`~repro.traffic.spec.TrafficSpec` (or anything
+    :func:`~repro.traffic.spec.resolve_traffic` accepts -- a spec dict,
+    a preset name like ``"imix_onoff"``, a ``.json`` spec path, or a
+    ``.csv``/``.jsonl`` trace path).  The flat ``pattern`` / ``shift``
+    / ``hot_port`` / ``p_hot`` / ``packet_bytes`` kwargs are the
+    deprecated compat shim: when ``traffic`` is None they map onto the
+    equivalent spec via :meth:`effective_traffic`, bit-identical to the
+    historical engines.  The budget fields are interpreted by fidelity:
+    ``quanta`` bounds the fabric engine, ``packets`` the phase-level
+    router (defaults to ``quanta`` deliveries), ``cycles`` the
+    word-level model.  ``None`` warmups pick each engine's historical
+    default so results stay comparable with the seed's experiment
+    harness.
     """
 
     pattern: str = "permutation"
@@ -64,6 +73,9 @@ class WorkloadSpec:
     #: path.  None / an empty plan keeps every engine on its fault-free
     #: fast path (bit-for-bit identical to the field not existing).
     fault_plan: Any = None
+    #: The declarative workload (see class docstring); overrides the
+    #: flat pattern kwargs when set.
+    traffic: Any = None
 
     def __post_init__(self):
         if self.pattern not in PATTERNS:
@@ -72,17 +84,63 @@ class WorkloadSpec:
             )
         if self.packet_bytes < 24:
             raise ValueError("packet must at least hold an IPv4 header + word")
+        if not 0.0 <= self.p_hot <= 1.0:
+            raise ValueError(f"p_hot must be in [0, 1], got {self.p_hot}")
+        if self.shift < 0:
+            raise ValueError(f"shift must be >= 0, got {self.shift}")
+        if self.hot_port < 0:
+            # The upper bound depends on the engine's port count, which
+            # is unknown here; traffic.build range-checks it at build time.
+            raise ValueError(f"hot_port must be >= 0, got {self.hot_port}")
 
     def replace(self, **changes: Any) -> "WorkloadSpec":
         return dataclasses.replace(self, **changes)
 
+    def effective_traffic(self):
+        """The workload as a TrafficSpec: ``traffic`` if set, else the
+        deprecated flat kwargs mapped onto the equivalent spec."""
+        from repro.traffic.spec import resolve_traffic, spec_from_legacy
+
+        if self.traffic is not None:
+            return resolve_traffic(self.traffic)
+        return spec_from_legacy(
+            pattern=self.pattern,
+            packet_bytes=self.packet_bytes,
+            shift=self.shift,
+            exclude_self=self.exclude_self,
+            hot_port=self.hot_port,
+            p_hot=self.p_hot,
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         d = dataclasses.asdict(self)
+        d["schema"] = WORKLOAD_SCHEMA
         if hasattr(self.fault_plan, "to_dict"):
             # Canonical schema-tagged form, so workload dicts round-trip
             # through resolve_plan().
             d["fault_plan"] = self.fault_plan.to_dict()
+        if hasattr(self.traffic, "to_dict"):
+            # Same for traffic specs and resolve_traffic().
+            d["traffic"] = self.traffic.to_dict()
         return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WorkloadSpec":
+        """Round-trip a :meth:`to_dict` form (schema-checked).
+
+        Nested ``fault_plan`` / ``traffic`` dicts ride through as-is --
+        ``resolve_plan()`` / ``resolve_traffic()`` normalize them at
+        engine build time."""
+        d = dict(d)
+        schema = d.pop("schema", WORKLOAD_SCHEMA)
+        if schema != WORKLOAD_SCHEMA:
+            raise ValueError(
+                f"workload schema is {schema!r}, expected {WORKLOAD_SCHEMA!r}"
+            )
+        unknown = set(d) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown workload fields: {sorted(unknown)}")
+        return cls(**d)
 
 
 @dataclass
@@ -162,30 +220,16 @@ class FabricEngine(_BaseEngine):
 
     fidelity = "fabric"
 
-    def _source(self, workload: WorkloadSpec, words: int):
-        from repro.core.fabricsim import (
-            saturated_hotspot,
-            saturated_permutation,
-            saturated_uniform,
-        )
+    def _source(self, workload: WorkloadSpec):
+        from repro.traffic.build import fabric_source
 
-        n = self.config.ports
-        if workload.pattern == "permutation":
-            return saturated_permutation(words, shift=workload.shift, n=n)
-        if workload.pattern == "uniform":
-            return saturated_uniform(
-                words, self._rng(), n=n, exclude_self=workload.exclude_self
-            )
-        return saturated_hotspot(
-            words, self._rng(), hot=workload.hot_port, p_hot=workload.p_hot, n=n
-        )
+        return fabric_source(workload.effective_traffic(), self.config)
 
     def run(self, workload: WorkloadSpec) -> RunResult:
         from repro.core.fabricsim import FabricSimulator
         from repro.core.ring import RingGeometry
 
         costs = self.config.cost_model()
-        words = costs.bytes_to_words(workload.packet_bytes)
         ring = RingGeometry(self.config.ports)
         from repro.core.allocator import Allocator
 
@@ -208,7 +252,7 @@ class FabricEngine(_BaseEngine):
             else max(50, workload.quanta // 20)
         )
         stats = sim.run(
-            self._source(workload, words),
+            self._source(workload),
             quanta=workload.quanta,
             warmup_quanta=warmup,
         )
@@ -251,32 +295,34 @@ class RouterEngine(_BaseEngine):
 
     def run(self, workload: WorkloadSpec) -> RunResult:
         from repro.router.router import RawRouter
-        from repro.traffic.arrivals import Saturated
-        from repro.traffic.patterns import (
-            FixedPermutation,
-            HotspotDestinations,
-            UniformDestinations,
-        )
-        from repro.traffic.sizes import FixedSize
-        from repro.traffic.workload import PacketFactory, Workload
+        from repro.traffic.build import router_traffic
 
-        n = self.config.ports
-        rng = self._rng()
         router = RawRouter.from_config(self.config, warmup_cycles=self.warmup_cycles)
         router.install_faults(workload.fault_plan)
-        if workload.pattern == "permutation":
-            pattern = FixedPermutation.shift(n, workload.shift)
-        elif workload.pattern == "uniform":
-            pattern = UniformDestinations(n, rng, exclude_self=workload.exclude_self)
-        else:
-            pattern = HotspotDestinations(
-                n, rng, hot=workload.hot_port, p_hot=workload.p_hot
-            )
-        router.attach_saturated(
-            Workload(pattern, FixedSize(workload.packet_bytes), Saturated()),
-            PacketFactory(n, rng),
-        )
+        spec = workload.effective_traffic()
+        traffic, factory, offered_load = router_traffic(spec, self.config)
         target = workload.packets if workload.packets is not None else workload.quanta
+        if offered_load is None:
+            router.attach_saturated(traffic, factory)
+        else:
+            # Non-saturated arrivals: the kernel-process ingress treats a
+            # None supply as end-of-stream, so sub-line-rate specs run
+            # through the paced line-card sources at the process's mean
+            # offered load instead of per-poll gating.  Deliveries inside
+            # the warmup window are not measured, so each line card's
+            # packet budget must cover the warmup burn plus its share of
+            # the target (with slack for pacing jitter).
+            costs = self.config.cost_model()
+            mean_words = max(1, costs.bytes_to_words(int(spec.sizes.mean_bytes())))
+            warmup_burn = int(self.warmup_cycles * offered_load / mean_words) + 1
+            share = -(-target // self.config.ports)
+            router.attach_linecards(
+                traffic,
+                factory,
+                offered_load=offered_load,
+                rng=self._rng(),
+                packets_per_port=warmup_burn + share + max(8, share // 4),
+            )
         result = router.run(target_packets=target)
         stats = router.stats
         bits = sum(stats.per_port_bits)
@@ -317,23 +363,13 @@ class WordLevelEngine(_BaseEngine):
     fidelity = "wordlevel"
 
     def run(self, workload: WorkloadSpec) -> RunResult:
-        from repro.router.wordlevel import (
-            WordLevelRouter,
-            permutation_source,
-            uniform_source,
-        )
+        from repro.router.wordlevel import WordLevelRouter
+        from repro.traffic.build import wordlevel_source
 
         if self.config.ports != 4:
             raise ValueError("the word-level model is fixed at 4 ports")
         costs = self.config.cost_model()
-        if workload.pattern == "permutation":
-            source = permutation_source(workload.packet_bytes, shift=workload.shift)
-        elif workload.pattern == "uniform":
-            source = uniform_source(
-                workload.packet_bytes, self._rng(), exclude_self=workload.exclude_self
-            )
-        else:
-            raise ValueError("word-level engine supports permutation/uniform only")
+        source = wordlevel_source(workload.effective_traffic(), self.config)
         router = WordLevelRouter(source, costs=costs, faults=workload.fault_plan)
         res = router.run(
             until_cycles=workload.cycles, warmup_cycles=workload.warmup_cycles

@@ -233,6 +233,29 @@ def _run_scenarios(
     )
     scenarios.append(_scenario_row("overload", overload))
 
+    # -- bursty declarative workload under a link flap -------------------
+    # The chaos harness through the unified traffic layer: IMIX sizes
+    # with heavy on-off arrivals (the "imix_onoff" preset) instead of a
+    # saturated fixed-size pattern, so recovery is measured under gaps
+    # and mixed packet sizes.
+    imix = _fabric_run(
+        base.replace(
+            traffic="imix_onoff",
+            fault_plan=FaultPlan(
+                events=(
+                    FaultEvent(cycle=flap_at, kind="link_down",
+                               target="input:2", duration=8 * est_q),
+                ),
+                name="imix-onoff-flap",
+            ),
+        ),
+        seed,
+    )
+    result.add(
+        "imix_onoff_goodput", imix.extra["resilience"]["goodput_ratio"]
+    )
+    scenarios.append(_scenario_row("imix_onoff", imix))
+
     # -- combined plan through the phase-level router --------------------
     phase_plan = FaultPlan(
         events=(
@@ -281,6 +304,13 @@ def _run_scenarios(
             and 0 < token_mttr <= TOKEN_MTTR_BOUND_CYCLES,
             "detail": f"token regenerated in {token_mttr} cycles "
                       f"(bound {TOKEN_MTTR_BOUND_CYCLES})",
+        },
+        {
+            "name": "imix_onoff_delivers",
+            "passed": imix.delivered_packets > 0
+            and imix.extra["resilience"]["faults_injected"] == 1,
+            "detail": f"declarative imix_onoff workload delivered "
+                      f"{imix.delivered_packets} packets under a link flap",
         },
         {
             "name": "all_faults_recovered",

@@ -57,8 +57,11 @@ class ShardSpec:
     """A picklable description of one shardable fabric run.
 
     ``source`` is a declarative workload: ``{"kind": "permutation",
-    "words": W, "shift": k}`` or ``{"kind": "uniform_counter",
-    "words": W, "seed": s, "exclude_self": bool}``.
+    "words": W, "shift": k}``, ``{"kind": "uniform_counter",
+    "words": W, "seed": s, "exclude_self": bool}``, or ``{"kind":
+    "traffic", "json": <TrafficSpec.to_json()>, "seed": s}`` (also
+    accepts ``"spec": <preset name or trace path>``) for any
+    declarative workload -- see :func:`repro.traffic.build.shard_source`.
     """
 
     ports: int = 4
@@ -105,6 +108,13 @@ def make_source(spec: ShardSpec):
             n=spec.ports,
             exclude_self=src.get("exclude_self", True),
         )
+    if kind == "traffic":
+        # Any declarative TrafficSpec (IMIX, on-off, drift, replay, ...):
+        # the factory forces the counter-based model so state()/restore()
+        # exists for every spec, including the legacy trio.
+        from repro.traffic.build import fabric_source_for_shard
+
+        return fabric_source_for_shard(src, ports=spec.ports, costs=spec.costs)
     raise ValueError(f"unknown shardable source kind {kind!r}")
 
 

@@ -13,7 +13,11 @@ Grid keys name :class:`SimConfig` fields (with the short aliases
 ``static_fifo_depth``, ``engine`` -> ``fidelity``),
 :class:`WorkloadSpec` fields (plus ``bytes``/``size`` ->
 ``packet_bytes``), or any :class:`CostModel` field (so the calibrated
-``quantum_ctl_overhead`` itself can be swept).  Each cell gets a
+``quantum_ctl_overhead`` itself can be swept).  The ``traffic`` axis
+takes anything :func:`repro.traffic.spec.resolve_traffic` accepts --
+preset names (``traffic=imix_onoff,bursty``), spec ``.json`` paths, or
+``.csv``/``.jsonl`` trace paths -- so whole workload families sweep as
+one grid key.  Each cell gets a
 deterministic seed derived from the base seed and the cell's key/value
 assignment -- rerunning a sweep, or running it with a different worker
 count, reproduces identical rows.

@@ -34,6 +34,10 @@ from .export import (
     render_stage_table,
     validate_chrome_trace,
 )
+from .journey import STAGES
+
+#: Schema tag on the ``--stats-out`` stage-latency document.
+TRACE_STATS_SCHEMA = "repro-trace-stats/1"
 
 
 @dataclass(frozen=True)
@@ -214,6 +218,68 @@ def _check(name: str, quick: bool, packets: Optional[int], seed: int,
     return 1 if failures else 0
 
 
+def stage_stats(name: str, result: RunResult,
+                tel: runtime.Telemetry) -> Dict[str, Any]:
+    """The per-stage latency table as a schema-tagged JSON document
+    (the ``--stats-out`` artifact; ``--baseline`` diffs two of these)."""
+    stages = {}
+    for s in STAGES:
+        h = tel.journeys.stage_hist[s]
+        stages[s] = {
+            "count": h.count,
+            "mean": h.mean,
+            "p50": h.percentile(50),
+            "p99": h.percentile(99),
+            "max": h.max or 0,
+        }
+    return {
+        "schema": TRACE_STATS_SCHEMA,
+        "experiment": name,
+        "gbps": result.gbps,
+        "delivered_packets": result.delivered_packets,
+        "cycles": result.cycles,
+        "stages": stages,
+    }
+
+
+def diff_stage_stats(current: Dict[str, Any],
+                     baseline: Dict[str, Any]) -> str:
+    """Render a per-stage latency delta between two stage-stats docs,
+    flagging the biggest relative mover."""
+    for doc, label in ((current, "current"), (baseline, "baseline")):
+        if doc.get("schema") != TRACE_STATS_SCHEMA:
+            raise ValueError(
+                f"{label} stats schema is {doc.get('schema')!r}, "
+                f"expected {TRACE_STATS_SCHEMA!r}"
+            )
+    lines = [
+        f"stage-latency diff vs baseline "
+        f"({baseline.get('experiment', '?')}, "
+        f"{baseline.get('delivered_packets', 0)} pkts)"
+    ]
+    biggest: Optional[Tuple[str, float]] = None
+    for stage, cur in current.get("stages", {}).items():
+        old = baseline.get("stages", {}).get(stage)
+        if not old or not old.get("count") or not cur.get("count"):
+            lines.append(f"  {stage:<9} (no overlap: missing samples)")
+            continue
+        delta = cur["mean"] - old["mean"]
+        pct = 100.0 * delta / old["mean"] if old["mean"] else 0.0
+        lines.append(
+            f"  {stage:<9} mean {old['mean']:8.1f} -> {cur['mean']:8.1f} "
+            f"cycles ({pct:+6.1f}%)   p99 {old['p99']:>6} -> {cur['p99']:>6}"
+        )
+        if stage != "total" and (biggest is None or abs(pct) > abs(biggest[1])):
+            biggest = (stage, pct)
+    if biggest is not None:
+        direction = "slower" if biggest[1] > 0 else "faster"
+        lines.append(
+            f"  biggest mover: {biggest[0]} "
+            f"({abs(biggest[1]):.1f}% {direction})"
+        )
+    return "\n".join(lines)
+
+
 def main(args) -> int:
     """Entry point behind ``python -m repro trace``."""
     name = args.experiment
@@ -239,10 +305,28 @@ def main(args) -> int:
         out.write_text(json.dumps(doc, indent=1) + "\n")
         print(f"wrote {out} (open at https://ui.perfetto.dev)")
 
+    stats = stage_stats(name, result, tel)
+    if getattr(args, "stats_out", None):
+        stats_path = Path(args.stats_out)
+        stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {stats_path} (schema {TRACE_STATS_SCHEMA})")
+
     print(f"{name}: {result.gbps:.3f} Gbps, "
           f"{result.delivered_packets} packets in {result.cycles} cycles")
     print()
     print(render_stage_table(tel))
+
+    if getattr(args, "baseline", None):
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+            diff = diff_stage_stats(stats, baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot diff against {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print()
+        print(diff)
     print()
     sim_events = result.extra.get("kernel_events")
     print(render_kernel_profile(tel, wall_s=wall, sim_events=sim_events))

@@ -1,31 +1,67 @@
-"""Workload generation: destination patterns, arrivals, packet sizes.
+"""Workload generation: one replayable traffic layer for every engine.
 
 The thesis's evaluation uses two traffic regimes: conflict-free
 permutation traffic for peak rate (section 7.2) and uniform traffic
 "under complete fairness" for the average rate (section 7.3).  This
-package provides those plus the bursty / hotspot / IMIX generators the
-wider experiments (baseline switches, QoS, multicast) need, and the
-line-card processes that feed packets into the simulated router.
+package provides those plus the adversarial workloads real switch cores
+are judged on -- bursty trains, hotspots (static and drifting), IMIX
+size mixes, on-off/MMPP and heavy-tailed arrivals, and recorded-trace
+replay -- all behind one declarative, schema-tagged
+:class:`~repro.traffic.spec.TrafficSpec` and one factory,
+:func:`build` (:mod:`repro.traffic.build`), that every engine and
+baseline constructs its sources through.
+
+Stochastic draws are counter-based (:mod:`repro.traffic.rng`), so every
+source composes with :mod:`repro.parallel.fabric_shard`'s time-sliced
+sharding: the mutable state is a handful of integers per port.
 """
 
-from repro.traffic.patterns import (
-    DestinationPattern,
-    UniformDestinations,
-    FixedPermutation,
-    RotatingPermutation,
-    HotspotDestinations,
-    BurstyDestinations,
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    Bernoulli,
+    CounterSlotArrivals,
+    IIDSlotArrivals,
+    OnOff,
+    Saturated,
 )
+from repro.traffic.build import (
+    build,
+    fabric_source as build_fabric_source,
+    router_traffic as build_router_traffic,
+    shard_source,
+    size_distribution,
+    slot_arrivals,
+    wordlevel_source as build_wordlevel_source,
+)
+from repro.traffic.model import SpecModel, TrafficModel
+from repro.traffic.patterns import (
+    BurstyDestinations,
+    DestinationPattern,
+    FixedPermutation,
+    HotspotDestinations,
+    RotatingPermutation,
+    UniformDestinations,
+)
+from repro.traffic.replay import TraceReplay, generate_trace, iter_flows, scan_trace
 from repro.traffic.sizes import (
-    SizeDistribution,
+    PAPER_SIZES,
+    BimodalSizes,
     FixedSize,
     IMix,
+    SizeDistribution,
     UniformSizes,
-    BimodalSizes,
-    PAPER_SIZES,
 )
-from repro.traffic.arrivals import ArrivalProcess, Saturated, Bernoulli
-from repro.traffic.workload import Workload, PacketFactory, fabric_source
+from repro.traffic.spec import (
+    PRESETS,
+    TRAFFIC_SCHEMA,
+    ArrivalSpec,
+    PatternSpec,
+    SizeSpec,
+    TrafficSpec,
+    resolve_traffic,
+    spec_from_legacy,
+)
+from repro.traffic.workload import PacketFactory, Workload, fabric_source
 
 __all__ = [
     "DestinationPattern",
@@ -43,7 +79,33 @@ __all__ = [
     "ArrivalProcess",
     "Saturated",
     "Bernoulli",
+    "OnOff",
+    "IIDSlotArrivals",
+    "CounterSlotArrivals",
     "Workload",
     "PacketFactory",
     "fabric_source",
+    # The declarative layer.
+    "TrafficSpec",
+    "PatternSpec",
+    "SizeSpec",
+    "ArrivalSpec",
+    "TRAFFIC_SCHEMA",
+    "PRESETS",
+    "resolve_traffic",
+    "spec_from_legacy",
+    "TrafficModel",
+    "SpecModel",
+    "TraceReplay",
+    "generate_trace",
+    "iter_flows",
+    "scan_trace",
+    # The one factory.
+    "build",
+    "build_fabric_source",
+    "build_router_traffic",
+    "build_wordlevel_source",
+    "shard_source",
+    "slot_arrivals",
+    "size_distribution",
 ]

@@ -131,8 +131,21 @@ class TestRunResultSchema:
         with pytest.raises(ValueError):
             engine.run(WorkloadSpec())
         engine = WordLevelEngine(SimConfig(fidelity="wordlevel"))
+        # Saturated-only engine: arrival processes are rejected.
         with pytest.raises(ValueError):
-            engine.run(WorkloadSpec(pattern="hotspot"))
+            engine.run(WorkloadSpec(traffic="bernoulli"))
+
+    def test_wordlevel_hotspot_now_runs(self):
+        # Historically raised; the unified traffic factory lifted it.
+        result = WordLevelEngine(SimConfig(fidelity="wordlevel")).run(
+            WorkloadSpec(
+                pattern="hotspot", packet_bytes=256,
+                cycles=30_000, warmup_cycles=5_000,
+            )
+        )
+        assert result.delivered_packets > 0
+        hot = result.per_port_packets[0]
+        assert hot >= max(result.per_port_packets[1:])
 
 
 class TestCostInjection:

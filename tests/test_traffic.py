@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.traffic.arrivals import Bernoulli, Saturated
+from repro.traffic.arrivals import (
+    Bernoulli,
+    CounterSlotArrivals,
+    OnOff,
+    Saturated,
+)
 from repro.traffic.patterns import (
     BurstyDestinations,
     FixedPermutation,
@@ -133,6 +138,64 @@ class TestArrivals:
     def test_bernoulli_validation(self):
         with pytest.raises(ValueError):
             Bernoulli(1.5, np.random.default_rng(0))
+
+    def test_bernoulli_is_counter_replayable(self):
+        a = Bernoulli(0.4, seed=7)
+        head = [a.offers(1) for _ in range(50)]
+        mark = a.state()
+        tail = [a.offers(1) for _ in range(50)]
+        b = Bernoulli(0.4, seed=7).restore(mark)
+        assert [b.offers(1) for _ in range(50)] == tail
+        # Replaying from scratch reproduces the head too.
+        c = Bernoulli(0.4, seed=7)
+        assert [c.offers(1) for _ in range(50)] == head
+
+    def test_bernoulli_ports_independent(self):
+        a = Bernoulli(0.5, seed=3)
+        p0 = [a.offers(0) for _ in range(200)]
+        b = Bernoulli(0.5, seed=3)
+        # Interleaving draws on another port must not perturb port 0.
+        p0_interleaved = []
+        for _ in range(200):
+            b.offers(1)
+            p0_interleaved.append(b.offers(0))
+        assert p0 == p0_interleaved
+
+    def test_onoff_load_and_gaps(self):
+        a = OnOff(mean_on=8.0, mean_off=8.0, seed=1)
+        assert a.load == pytest.approx(0.5)
+        draws = [a.offers(0) for _ in range(4000)]
+        rate = np.mean(draws)
+        assert 0.3 < rate < 0.7
+        # On-off must produce runs of idle polls, unlike Bernoulli(0.5).
+        longest_gap = cur = 0
+        for d in draws:
+            cur = 0 if d else cur + 1
+            longest_gap = max(longest_gap, cur)
+        assert longest_gap >= 8
+
+    def test_onoff_state_restore(self):
+        a = OnOff(mean_on=4.0, mean_off=4.0, seed=5, heavy=True, alpha=1.5)
+        [a.offers(0) for _ in range(77)]
+        mark = a.state()
+        tail = [a.offers(0) for _ in range(100)]
+        b = OnOff(mean_on=4.0, mean_off=4.0, seed=5, heavy=True, alpha=1.5)
+        b.restore(mark)
+        assert [b.offers(0) for _ in range(100)] == tail
+
+    def test_onoff_validation(self):
+        with pytest.raises(ValueError):
+            OnOff(mean_on=0.5)
+        with pytest.raises(ValueError):
+            OnOff(heavy=True, alpha=1.0)
+
+    def test_counter_slot_arrivals_restore(self):
+        a = CounterSlotArrivals(4, seed=2)
+        [a.slot(0.6) for _ in range(20)]
+        mark = a.state()
+        tail = [a.slot(0.6) for _ in range(20)]
+        b = CounterSlotArrivals(4, seed=2).restore(mark)
+        assert [b.slot(0.6) for _ in range(20)] == tail
 
 
 class TestWorkload:
