@@ -26,6 +26,13 @@ for stochastic traffic).  Results land under a separate
 path must be bit-identical to the step loop).  With ``--check`` the
 suite still runs, then fails the process if any scenario mismatches or
 slows down (speedup < 1.0) -- the CI smoke configuration.
+
+``--engine manyworlds`` selects the vectorized Monte Carlo suite: a
+``worlds``-seed batch through :mod:`repro.parallel.manyworlds` timed
+against a measured sample of scalar reference runs, recording the
+aggregate speedup (scalar extrapolation / batch wall) and per-sampled
+world bit-identity under a ``manyworlds`` key.  The same ``--check``
+semantics apply (bit-identity + speedup >= 1).
 """
 
 from __future__ import annotations
@@ -305,6 +312,182 @@ def format_fabric_large(report: Dict[str, Any]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# The many-worlds suite (``--engine manyworlds``).
+# ---------------------------------------------------------------------------
+#: Schema tag for the ``manyworlds`` results section.
+MANYWORLDS_SCHEMA = "repro-manyworlds-bench/1"
+
+#: Scenario budgets.  Each scenario times a ``worlds``-seed vectorized
+#: batch against a measured sample of ``sample_worlds`` scalar reference
+#: runs (``aggregate speedup`` extrapolates the scalar sample to the
+#: full world count); the sampled worlds must be bit-identical to their
+#: vectorized lanes.
+MANYWORLDS_SCENARIOS: Dict[str, List[Dict[str, Any]]] = {
+    "full": [
+        {"name": "uniform_n16_1000w", "ports": 16, "seed": 7,
+         "quanta": 2000, "worlds": 1000, "sample_worlds": 3,
+         "workload": {"pattern": "uniform"}},
+        {"name": "imix_n16_500w", "ports": 16, "seed": 11,
+         "quanta": 2000, "worlds": 500, "sample_worlds": 3,
+         "workload": {"traffic": "imix"}},
+        {"name": "imix_onoff_n8_500w", "ports": 8, "seed": 13,
+         "quanta": 2000, "worlds": 500, "sample_worlds": 3,
+         "workload": {"traffic": "imix_onoff"}},
+    ],
+    "quick": [
+        {"name": "uniform_n16_64w", "ports": 16, "seed": 7,
+         "quanta": 300, "worlds": 64, "sample_worlds": 2,
+         "workload": {"pattern": "uniform"}},
+        {"name": "imix_n8_32w", "ports": 8, "seed": 11,
+         "quanta": 300, "worlds": 32, "sample_worlds": 2,
+         "workload": {"traffic": "imix"}},
+    ],
+}
+
+
+def _bench_manyworlds_scenario(sc: Dict[str, Any]) -> Dict[str, Any]:
+    """Time one vectorized batch against a measured scalar sample."""
+    from repro.parallel.manyworlds import run_worlds, scalar_world_stats
+
+    config = SimConfig(ports=sc["ports"], seed=sc["seed"])
+    workload = WorkloadSpec(quanta=sc["quanta"], **sc["workload"])
+    mw = run_worlds(config, workload, sc["worlds"])
+    vec_wall = mw.elapsed_s
+
+    sample = list(range(sc["sample_worlds"]))
+    t0 = time.perf_counter()
+    refs = [scalar_world_stats(config, workload, w) for w in sample]
+    scalar_wall = time.perf_counter() - t0
+    per_world = scalar_wall / len(sample)
+    extrapolated = per_world * sc["worlds"]
+
+    stats_match = all(
+        mw.stats[w].counters() == refs[i].counters()
+        and mw.stats[w].per_port_words == refs[i].per_port_words
+        and mw.stats[w].grant_histogram == refs[i].grant_histogram
+        for i, w in enumerate(sample)
+    )
+    env = mw.envelope("gbps")
+    return {
+        "scenario": sc["name"],
+        "ports": sc["ports"],
+        "quanta": sc["quanta"],
+        "worlds": sc["worlds"],
+        "vectorized": mw.vectorized,
+        "vector_wall_s": vec_wall,
+        "scalar_sample_worlds": len(sample),
+        "scalar_sample_wall_s": scalar_wall,
+        "scalar_wall_s_extrapolated": extrapolated,
+        "aggregate_speedup": extrapolated / vec_wall if vec_wall > 0 else None,
+        "stats_match": stats_match,
+        "gbps_envelope": env,
+    }
+
+
+def run_manyworlds_bench(mode: str = "full") -> Dict[str, Any]:
+    """Run the many-worlds suite; returns the JSON-ready report."""
+    if mode not in MANYWORLDS_SCENARIOS:
+        raise ValueError(f"unknown bench mode {mode!r}")
+    return {
+        "schema": MANYWORLDS_SCHEMA,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": [
+            _bench_manyworlds_scenario(sc)
+            for sc in MANYWORLDS_SCENARIOS[mode]
+        ],
+    }
+
+
+def merge_manyworlds(
+    data: Dict[str, Any], report: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Fold a many-worlds report into the results dict (keyed by mode,
+    like ``fabric_large``)."""
+    mw = data.setdefault("manyworlds", {"schema": MANYWORLDS_SCHEMA})
+    mw[report["mode"]] = report
+    return data
+
+
+def check_manyworlds(report: Dict[str, Any]) -> List[str]:
+    """CI invariants: sampled worlds bit-identical, vectorized path
+    taken, and the batch not slower than the scalar extrapolation (the
+    >= 100x full-budget headline is recorded, not gated -- CI machines
+    are too noisy to pin a two-order-of-magnitude ratio)."""
+    problems: List[str] = []
+    for row in report["scenarios"]:
+        if not row["stats_match"]:
+            problems.append(
+                f"{row['scenario']}: sampled worlds differ from scalar runs"
+            )
+        if not row["vectorized"]:
+            problems.append(f"{row['scenario']}: fell back to scalar runs")
+        speedup = row["aggregate_speedup"]
+        if speedup is None or speedup < 1.0:
+            problems.append(
+                f"{row['scenario']}: aggregate speedup {speedup} < 1.0"
+            )
+    return problems
+
+
+def validate_manyworlds(data: Dict[str, Any]) -> List[str]:
+    """Schema check for the ``manyworlds`` section (if present)."""
+    errors: List[str] = []
+    mw = data.get("manyworlds")
+    if mw is None:
+        return errors
+    if mw.get("schema") != MANYWORLDS_SCHEMA:
+        errors.append(
+            f"manyworlds schema is {mw.get('schema')!r}, "
+            f"expected {MANYWORLDS_SCHEMA!r}"
+        )
+    for mode, report in mw.items():
+        if mode == "schema":
+            continue
+        rows = report.get("scenarios") if isinstance(report, dict) else None
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"manyworlds.{mode} has no scenarios")
+            continue
+        for row in rows:
+            for field in ("scenario", "worlds", "vector_wall_s",
+                          "aggregate_speedup", "stats_match", "gbps_envelope"):
+                if field not in row:
+                    errors.append(
+                        f"manyworlds.{mode} scenario missing {field!r}"
+                    )
+            if row.get("stats_match") is not True:
+                errors.append(
+                    f"manyworlds.{mode}.{row.get('scenario')}: "
+                    "stats_match is not true"
+                )
+    return errors
+
+
+def format_manyworlds(report: Dict[str, Any]) -> str:
+    lines = [
+        f"many-worlds bench ({report['mode']} budgets, "
+        f"python {report['python']})",
+        f"{'scenario':<20} {'worlds':>7} {'vec (s)':>9} {'scalar est (s)':>15} "
+        f"{'speedup':>9} {'identical':>10}",
+    ]
+    for row in report["scenarios"]:
+        lines.append(
+            f"{row['scenario']:<20} {row['worlds']:>7} "
+            f"{row['vector_wall_s']:>9.3f} "
+            f"{row['scalar_wall_s_extrapolated']:>15.3f} "
+            f"{row['aggregate_speedup']:>8.1f}x "
+            f"{('yes' if row['stats_match'] else 'NO'):>10}"
+        )
+        env = row["gbps_envelope"]
+        lines.append(
+            f"{'':<20} gbps {env['mean']:.3f} ± {env['ci95']:.3f} "
+            f"(p50 {env['p50']:.3f}, p99 {env['p99']:.3f})"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # Results-file plumbing.
 # ---------------------------------------------------------------------------
 def load_results(path: Path) -> Dict[str, Any]:
@@ -407,9 +590,31 @@ def main(
     path = Path(out) if out is not None else DEFAULT_RESULTS_PATH
     engines = list(engines) if engines else None
     fabric_large = engines is not None and "fabric-large" in engines
+    manyworlds = engines is not None and "manyworlds" in engines
     kernel_engines = (
-        [e for e in engines if e != "fabric-large"] if engines else None
+        [e for e in engines if e not in ("fabric-large", "manyworlds")]
+        if engines
+        else None
     )
+    if manyworlds:
+        report = run_manyworlds_bench(mode=mode)
+        data = merge_manyworlds(load_results(path), report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(format_manyworlds(report))
+        print(f"wrote {path}")
+        if check_only:
+            problems = check_manyworlds(report)
+            for p in problems:
+                print(f"many-worlds check failed: {p}", file=sys.stderr)
+            if problems:
+                return 1
+            print(
+                "many-worlds check ok: sampled worlds bit-identical, "
+                "vectorized, speedup >= 1"
+            )
+        if not kernel_engines and not fabric_large:
+            return 0
     if fabric_large:
         report = run_fabric_large(mode=mode)
         data = merge_fabric_large(load_results(path), report)
@@ -426,9 +631,13 @@ def main(
             print("fast-path check ok: all scenarios bit-identical, speedup >= 1")
         if not kernel_engines:
             return 0
-    if check_only and not fabric_large:
+    if check_only and not fabric_large and not manyworlds:
         data = load_results(path)
-        errors = validate_results(data) + validate_fabric_large(data)
+        errors = (
+            validate_results(data)
+            + validate_fabric_large(data)
+            + validate_manyworlds(data)
+        )
         if errors:
             for err in errors:
                 print(f"schema error: {err}", file=sys.stderr)

@@ -178,9 +178,12 @@ def _cmd_chaos(args) -> int:
     from repro.experiments import resilience
 
     runner = resilience.run_quick if args.quick else resilience.run
-    result = runner(
+    kwargs = dict(
         seed=args.seed, out=args.out, plan=args.plan, telemetry=args.telemetry
     )
+    if args.worlds is not None:
+        kwargs["worlds"] = args.worlds
+    result = runner(**kwargs)
     print(result.to_text())
     print(f"wrote {args.out}")
     if args.check:
@@ -218,6 +221,7 @@ def _cmd_sweep(args) -> int:
             base_workload=base_workload,
             base_seed=args.seed,
             telemetry=args.telemetry,
+            worlds=args.worlds,
         )
     except ValueError as exc:
         print(f"bad --grid: {exc}", file=sys.stderr)
@@ -250,7 +254,8 @@ def main(argv=None) -> int:
         default=None,
         metavar="E1[,E2...]",
         help="comma-separated engine subset (default: all three kernel "
-        "engines); 'fabric-large' selects the fabric fast-path suite",
+        "engines); 'fabric-large' selects the fabric fast-path suite, "
+        "'manyworlds' the vectorized Monte Carlo suite",
     )
     bench.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
     bench.add_argument(
@@ -362,6 +367,16 @@ def main(argv=None) -> int:
         "(aliases: quantum, clock, fifo, engine, bytes)",
     )
     sweep.add_argument("--workers", type=int, default=1, help="pool size")
+    sweep.add_argument(
+        "--worlds",
+        type=int,
+        default=1,
+        metavar="K",
+        help="run every cell as a K-seed Monte Carlo batch through the "
+        "vectorized many-worlds engine; rows gain mean ± 95%% CI "
+        "envelopes (cells that cannot vectorize fall back to K scalar "
+        "runs, with the reason recorded)",
+    )
     sweep.add_argument("--out", default="sweep_results.json", help="JSON output path")
     sweep.add_argument("--seed", type=int, default=0, help="base seed")
     sweep.add_argument(
@@ -420,6 +435,14 @@ def main(argv=None) -> int:
         default=None,
         metavar="PLAN.json",
         help="also run this fault-plan file as an extra scenario",
+    )
+    chaos.add_argument(
+        "--worlds",
+        type=int,
+        default=None,
+        metavar="K",
+        help="size the many-worlds baseline envelope (default 200, "
+        "64 with --quick; 0 disables the envelope and its checks)",
     )
     chaos.add_argument(
         "--telemetry",

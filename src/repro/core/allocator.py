@@ -255,6 +255,7 @@ class CompiledAllocator:
             raise ValueError("Raw has one or two static networks")
         self.ring = ring
         self.networks = networks
+        self._tensors = None  #: lazily built by :meth:`lookup_tensors`
         n = ring.n
         #: [src][dst] -> tuple of (link_mask, hops, Path, Grant, links);
         #: candidates in the exact preference order of the plain rule.
@@ -344,3 +345,171 @@ class CompiledAllocator:
                     out.append((src, dst, hops))
                     break
         return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Batch path: the many-worlds engine's vectorized allocation.
+    # ------------------------------------------------------------------
+    def lookup_tensors(self):
+        """Shared numpy lookup tensors for the batch allocation rule.
+
+        Returns ``(mask, hops, valid)``, each of shape ``[n, n, C]``
+        where ``C`` is the maximum candidate count over all (src, dst)
+        pairs: ``mask[s, d, c]`` is candidate ``c``'s link bitmask (the
+        same bit layout :meth:`allocate` uses, as ``uint64``),
+        ``hops[s, d, c]`` its ring expansion, and ``valid[s, d, c]``
+        False for padding slots past the pair's real candidates.  Built
+        once per geometry and cached; every world of a batch run shares
+        the same tensors, which is what makes the per-quantum step an
+        array program instead of ``n_worlds`` table walks.
+
+        Raises ``ValueError`` when the link-bit layout does not fit a
+        ``uint64`` lane (``networks * 2 * n > 64``) -- callers treat
+        that as "fall back to the scalar engine".
+        """
+        if self._tensors is None:
+            import numpy as np
+
+            n = self.ring.n
+            bits = self.networks * 2 * n
+            if bits > 64:
+                raise ValueError(
+                    f"link bitmask needs {bits} bits (networks="
+                    f"{self.networks}, n={n}); the uint64 batch path "
+                    "tops out at 64"
+                )
+            cmax = max(
+                len(self.table[s][d]) for s in range(n) for d in range(n)
+            )
+            mask_t = np.zeros((n, n, cmax), dtype=np.uint64)
+            hops_t = np.zeros((n, n, cmax), dtype=np.int64)
+            valid_t = np.zeros((n, n, cmax), dtype=bool)
+            for s in range(n):
+                for d in range(n):
+                    for c, (mask, hops, _p, _g, _l) in enumerate(self.table[s][d]):
+                        mask_t[s, d, c] = mask
+                        hops_t[s, d, c] = hops
+                        valid_t[s, d, c] = True
+            self._tensors = (mask_t, hops_t, valid_t)
+        return self._tensors
+
+    def _batch_tables(self):
+        """Hot-path variants of :meth:`lookup_tensors`, cached.
+
+        Returns ``(maskp, hopsp, bit_table, sentinel, link_mask)``:
+        ``maskp`` is the candidate-mask tensor flattened to
+        ``[n * n, C]`` with padding slots set to all-ones, and
+        ``sentinel`` is a spare link bit kept permanently set in the
+        ``used`` mask so all-ones padding slots are never free.  When
+        the link layout leaves bits 56..63 free and hop counts fit a
+        byte, each candidate's hop count is *packed into its mask's top
+        byte* (one gather serves both) -- then ``hopsp`` is None and
+        ``link_mask`` strips the hop byte before masks enter ``used``.
+        Otherwise ``hopsp`` is the ``[n * n, C]`` hop tensor and
+        ``link_mask`` is all-ones.  ``bit_table[d] == 1 << d``.  When
+        the link layout uses all 64 bits there is no spare sentinel bit;
+        padding is still safe because every (src, dst) pair has at least
+        one real candidate ordered before its padding (enforced here).
+        """
+        if getattr(self, "_batch", None) is None:
+            import numpy as np
+
+            mask_t, hops_t, valid_t = self.lookup_tensors()
+            n = self.ring.n
+            bits = self.networks * 2 * n
+            if bits >= 64 and not valid_t.any(axis=2).all():
+                raise ValueError(
+                    "batch path needs a spare link bit or at least one "
+                    "candidate per (src, dst) pair"
+                )
+            sentinel = np.uint64(1 << bits) if bits < 64 else np.uint64(0)
+            all_ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+            maskp = np.where(valid_t, mask_t, all_ones).reshape(n * n, -1)
+            bit_table = np.uint64(1) << np.arange(n, dtype=np.uint64)
+            if bits <= 55 and int(hops_t.max(initial=0)) < 256:
+                maskp = maskp | (
+                    hops_t.astype(np.uint64).reshape(n * n, -1)
+                    << np.uint64(56)
+                )
+                self._batch = (
+                    maskp, None, bit_table, sentinel,
+                    np.uint64((1 << 56) - 1),
+                )
+            else:
+                hopsp = hops_t.reshape(n * n, -1)
+                self._batch = (maskp, hopsp, bit_table, sentinel, all_ones)
+        return self._batch
+
+    def batch_grants(self, dests, token: int):
+        """:meth:`grants` over a whole batch of worlds at once.
+
+        ``dests`` is an integer array of shape ``[W, n]``: world ``w``'s
+        input ``i`` requests output ``dests[w, i]``, with ``-1`` for "no
+        request" (the ``None`` of the scalar rule).  ``token`` is scalar
+        -- all worlds advance the rotating token in lock-step.
+
+        Returns ``(granted, hops)``, both ``[W, n]``: ``granted[w, i]``
+        is True when input ``i`` transmits this quantum in world ``w``,
+        and ``hops[w, i]`` is the granted path's ring expansion (0 where
+        not granted).  Row ``w`` equals :meth:`grants` on that world's
+        request tuple -- the bit-identity contract the many-worlds
+        engine's world-0 check rests on.
+        """
+        import numpy as np
+
+        n = self.ring.n
+        if dests.shape[1] != n:
+            raise ValueError(f"expected {n} request lanes, got {dests.shape[1]}")
+        if not 0 <= token < n:
+            raise ValueError(f"token {token} out of range")
+        if dests.max(initial=-1) >= n:
+            raise ValueError("request destination out of range")
+        nworlds = dests.shape[0]
+        zero = np.uint64(0)
+        req_all = dests >= 0
+        d_all = np.where(req_all, dests, 0)
+        maskp, hopsp, bit_table, sentinel, link_mask = self._batch_tables()
+        packed = hopsp is None
+        # Gather every lane's candidate masks (hop counts packed in the
+        # top byte when the layout allows) once up front ([W, n, C])
+        # through a flat index; the offset loop below then only slices
+        # views out of them, so its per-iteration cost is a handful of
+        # [W]-sized ufunc calls.
+        flat = np.arange(n)[None, :] * n + d_all
+        cand_all = maskp[flat]
+        hops_all = None if packed else hopsp[flat]
+        bit_all = bit_table[d_all]
+        cmax = cand_all.shape[2]
+        hop_shift = np.uint64(56)
+        claimed = np.zeros(nworlds, dtype=np.uint64)  # output bitmask
+        # ``used`` starts with the sentinel bit set, so padding slots
+        # (mask all-ones) are never free -- no valid_t in the hot loop.
+        # Candidate hop bytes never reach ``used`` (link_mask strips
+        # them), so the free test below sees link bits only.
+        used = np.full(nworlds, sentinel, dtype=np.uint64)  # link bitmask
+        granted = np.zeros((nworlds, n), dtype=bool)
+        hops = np.zeros((nworlds, n), dtype=np.int64)
+        for offset in range(n):
+            src = (token + offset) % n
+            # First-free candidate scan, lowest index first (the scalar
+            # rule's candidate order) -- plain ufuncs beat argmax + fancy
+            # indexing at these widths.
+            sel = cand_all[:, src, 0]
+            hsel = None if packed else hops_all[:, src, 0]
+            any_free = (sel & used) == zero
+            for c in range(1, cmax):
+                cc = cand_all[:, src, c]
+                fc = (cc & used) == zero
+                take = ~any_free & fc
+                sel = np.where(take, cc, sel)
+                if not packed:
+                    hsel = np.where(take, hops_all[:, src, c], hsel)
+                any_free |= fc
+            bit = bit_all[:, src]
+            g = req_all[:, src] & ((claimed & bit) == zero) & any_free
+            used |= np.where(g, sel, zero) & link_mask
+            claimed |= np.where(g, bit, zero)
+            granted[:, src] = g
+            if packed:
+                hsel = sel >> hop_shift
+            hops[:, src] = np.where(g, hsel, 0)
+        return granted, hops

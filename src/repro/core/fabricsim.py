@@ -41,6 +41,7 @@ from repro.core.allocator import Allocation, Allocator
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles, quantum_cycles
 from repro.core.ring import RingGeometry
 from repro.core.token import RotatingToken
+from repro.seeds import counter_seed
 from repro.telemetry import runtime as _telemetry
 from repro.telemetry.events import EV_XBAR_CONFIG
 
@@ -681,7 +682,7 @@ class CounterUniformSource:
                 "terminates"
             )
         self.words = words
-        self.seed = seed & 0xFFFFFFFF
+        self.seed = counter_seed(seed)
         self.n = n
         self.exclude_self = exclude_self
         self._draws = [0] * n

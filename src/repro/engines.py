@@ -220,10 +220,19 @@ class FabricEngine(_BaseEngine):
 
     fidelity = "fabric"
 
+    #: Build counter-based models even for legacy specs.  The many-worlds
+    #: scalar reference path (:mod:`repro.parallel.manyworlds`) flips this
+    #: on: only counter-based draws vectorize, so its per-world scalar
+    #: runs must consume the same streams the vectorized engine does.
+    force_counter = False
+
     def _source(self, workload: WorkloadSpec):
         from repro.traffic.build import fabric_source
 
-        return fabric_source(workload.effective_traffic(), self.config)
+        return fabric_source(
+            workload.effective_traffic(), self.config,
+            force_counter=self.force_counter,
+        )
 
     def run(self, workload: WorkloadSpec) -> RunResult:
         from repro.core.fabricsim import FabricSimulator

@@ -26,10 +26,19 @@ modes the fault model defines:
   pipeline.
 
 ``run()`` also evaluates the acceptance invariants (the ``checks`` list
-in the JSON table): empty-plan identity, dead-port goodput within 5% of
-the 3-port reference, bounded token MTTR, and no unrecovered faults.
-``python -m repro chaos --check`` turns any failed check into a nonzero
-exit, which is what the CI smoke job gates on.
+in the JSON table): empty-plan identity, dead-port goodput within
+tolerance of the 3-port reference, bounded token MTTR, and no
+unrecovered faults.  ``python -m repro chaos --check`` turns any failed
+check into a nonzero exit, which is what the CI smoke job gates on.
+
+The acceptance bounds carry *real error bars*: before the chaos
+scenarios run, the fault-free baseline is swept through the vectorized
+many-worlds engine (:mod:`repro.parallel.manyworlds`) across ``worlds``
+independent seeds.  The resulting envelope (mean/std/ci95/percentiles
+per metric) lands in the JSON table as ``baseline_envelope``, the
+world-0 run is checked bit-identical against the scalar engine, and the
+single-seed baseline plus the dead-port ratio are judged against the
+measured seed-to-seed spread instead of bare magic constants.
 """
 
 from __future__ import annotations
@@ -50,6 +59,50 @@ DEFAULT_OUT = "benchmarks/RESILIENCE_results.json"
 #: burns ``ports + 1`` idle control quanta, so anything in this
 #: neighbourhood is "bounded"; a runaway would be orders larger.
 TOKEN_MTTR_BOUND_CYCLES = 5_000
+
+#: Monte Carlo budget for the fault-free baseline envelope: enough
+#: worlds for a stable std estimate without dominating the experiment
+#: wall-clock (the vectorized engine makes 200 worlds cheaper than a
+#: handful of scalar runs).
+ENVELOPE_WORLDS = 200
+ENVELOPE_WORLDS_QUICK = 64
+
+
+def _baseline_envelope(
+    base: WorkloadSpec, seed: int, worlds: int, ports: int = 4
+) -> Dict[str, Any]:
+    """Many-worlds sweep of the fault-free baseline.
+
+    Returns the JSON-ready envelope block: per-metric
+    mean/std/ci95/percentile statistics over ``worlds`` seeds, plus the
+    world-0 vs scalar bit-identity verdict.  Must run *before* any
+    telemetry capture is armed -- the vectorized engine refuses to run
+    under an active recorder and would fall back to ``worlds`` scalar
+    runs.
+    """
+    from repro.parallel.manyworlds import run_scalar_world, run_worlds
+
+    config = SimConfig(seed=seed, ports=ports)
+    mw = run_worlds(config, base, worlds)
+    w0 = mw.world_result(0)
+    scalar0 = run_scalar_world(config, base, 0)
+    identical = (
+        w0.gbps == scalar0.gbps
+        and w0.cycles == scalar0.cycles
+        and w0.delivered_packets == scalar0.delivered_packets
+        and w0.delivered_words == scalar0.delivered_words
+    )
+    return {
+        "worlds": worlds,
+        "ports": ports,
+        "vectorized": mw.vectorized,
+        "fallback_reason": mw.fallback_reason,
+        "elapsed_s": mw.elapsed_s,
+        "envelopes": mw.envelopes(),
+        "world0_identical": identical,
+        "world0_gbps": w0.gbps,
+        "world0_scalar_gbps": scalar0.gbps,
+    }
 
 
 def _fabric_run(
@@ -84,6 +137,7 @@ def run(
     out: Optional[str] = DEFAULT_OUT,
     plan: Optional[str] = None,
     telemetry: bool = False,
+    worlds: int = ENVELOPE_WORLDS,
 ) -> ExperimentResult:
     """The resilience table: one row per chaos scenario.
 
@@ -92,13 +146,19 @@ def run(
     to ``out`` (schema ``repro-resilience/1``) unless ``out`` is None.
     ``telemetry`` runs every scenario with the telemetry layer enabled
     and attaches the aggregate event/journey summary to the table.
+    ``worlds`` sizes the many-worlds baseline envelope (0 disables it
+    and the envelope-derived checks).
     """
+    base = WorkloadSpec(pattern="uniform", packet_bytes=1024, quanta=quanta)
+    # Envelope first: the vectorized engine refuses to run while a
+    # telemetry recorder is armed (it cannot emit per-world traces).
+    env = _baseline_envelope(base, seed, worlds) if worlds > 0 else None
     if telemetry:
         from repro.telemetry import runtime as _telemetry
 
         with _telemetry.capture() as tel:
-            return _run_scenarios(quanta, packets, seed, out, plan, tel)
-    return _run_scenarios(quanta, packets, seed, out, plan, None)
+            return _run_scenarios(quanta, packets, seed, out, plan, tel, base, env)
+    return _run_scenarios(quanta, packets, seed, out, plan, None, base, env)
 
 
 def _run_scenarios(
@@ -108,12 +168,13 @@ def _run_scenarios(
     out: Optional[str],
     plan: Optional[str],
     tel,
+    base: WorkloadSpec,
+    env: Optional[Dict[str, Any]],
 ) -> ExperimentResult:
     result = ExperimentResult(
         name="resilience",
         description="Chaos scenarios: MTTR (cycles), goodput, drop taxonomy",
     )
-    base = WorkloadSpec(pattern="uniform", packet_bytes=1024, quanta=quanta)
     costs = SimConfig().cost_model()
     words = costs.bytes_to_words(1024)
     # Rough per-quantum cycle cost (body + control) used only to place
@@ -129,6 +190,20 @@ def _run_scenarios(
     empty = _fabric_run(base.replace(fault_plan=FaultPlan.empty()), seed)
     result.add("baseline_gbps", baseline.gbps)
     scenarios.append(_scenario_row("baseline", baseline))
+    # Seed-to-seed spread of the fault-free fabric, from the many-worlds
+    # envelope computed in run().  ``rel_spread`` (std/mean of gbps) is
+    # the real error bar behind the acceptance tolerances below.
+    genv = env["envelopes"]["gbps"] if env is not None else None
+    rel_spread = (
+        genv["std"] / genv["mean"] if genv is not None and genv["mean"] else 0.0
+    )
+    if genv is not None:
+        result.add(
+            "baseline_envelope_gbps",
+            f"{genv['mean']:.3f} ± {genv['ci95']:.3f}",
+            extra_note=f"{env['worlds']} worlds, p50 {genv['p50']:.3f} "
+            f"p99 {genv['p99']:.3f}",
+        )
     empty_identical = (
         baseline.gbps == empty.gbps
         and baseline.cycles == empty.cycles
@@ -293,10 +368,15 @@ def _run_scenarios(
                       f"vs baseline {baseline.gbps:.8f} Gbps / {baseline.cycles} cyc",
         },
         {
+            # The 5% floor is the historical bound; the envelope widens
+            # it when the measured seed-to-seed spread says 5% would be
+            # tighter than the fabric's own run-to-run noise.
             "name": "dead_port_within_5pct_of_3port",
-            "passed": abs(dead_ratio - 1.0) <= 0.05,
+            "passed": abs(dead_ratio - 1.0) <= max(0.05, 3 * rel_spread),
             "detail": f"degraded 4-port {dead.gbps:.3f} Gbps vs 3-port "
-                      f"reference {ref3.gbps:.3f} Gbps (ratio {dead_ratio:.4f})",
+                      f"reference {ref3.gbps:.3f} Gbps (ratio {dead_ratio:.4f}, "
+                      f"tolerance {max(0.05, 3 * rel_spread):.4f} from "
+                      f"3-sigma envelope spread)",
         },
         {
             "name": "token_mttr_bounded",
@@ -319,6 +399,32 @@ def _run_scenarios(
             + ", ".join(f"{s['name']}={s['unrecovered']}" for s in scenarios),
         },
     ]
+    if env is not None:
+        checks.append(
+            {
+                "name": "manyworlds_world0_identity",
+                "passed": bool(env["world0_identical"]),
+                "detail": f"vectorized world 0 {env['world0_gbps']:.8f} Gbps "
+                f"vs scalar engine {env['world0_scalar_gbps']:.8f} Gbps "
+                f"({env['worlds']} worlds, "
+                f"{'vectorized' if env['vectorized'] else 'scalar fallback'})",
+            }
+        )
+        # The single-seed baseline draws traffic from the historical
+        # shared-np.random source, the envelope from the counter RNG --
+        # different streams, same uniform-saturated distribution -- so
+        # the baseline must sit inside the envelope's spread, not match
+        # its mean exactly.
+        tol = max(5 * genv["std"], 0.05 * genv["mean"])
+        checks.append(
+            {
+                "name": "baseline_within_envelope",
+                "passed": abs(baseline.gbps - genv["mean"]) <= tol,
+                "detail": f"single-seed baseline {baseline.gbps:.3f} Gbps vs "
+                f"envelope {genv['mean']:.3f} ± {genv['ci95']:.3f} Gbps "
+                f"(ci95, {env['worlds']} worlds; tolerance {tol:.3f})",
+            }
+        )
     for c in checks:
         result.add(f"check:{c['name']}", "pass" if c["passed"] else "FAIL")
     result.checks = checks
@@ -339,6 +445,8 @@ def _run_scenarios(
             "scenarios": scenarios,
             "checks": checks,
         }
+        if env is not None:
+            table["baseline_envelope"] = env
         if tel is not None:
             table["telemetry"] = tel.summary()
         with open(out, "w") as fh:
@@ -349,10 +457,11 @@ def _run_scenarios(
 
 def run_quick(seed: int = 0, out: Optional[str] = DEFAULT_OUT,
               plan: Optional[str] = None,
-              telemetry: bool = False) -> ExperimentResult:
-    """CI-smoke budget: same scenarios, ~5x shorter runs."""
+              telemetry: bool = False,
+              worlds: int = ENVELOPE_WORLDS_QUICK) -> ExperimentResult:
+    """CI-smoke budget: same scenarios, ~5x shorter runs, fewer worlds."""
     return run(quanta=800, packets=600, seed=seed, out=out, plan=plan,
-               telemetry=telemetry)
+               telemetry=telemetry, worlds=worlds)
 
 
 def validate_results(path: str = DEFAULT_OUT) -> List[str]:

@@ -31,12 +31,12 @@ from __future__ import annotations
 
 import json
 import os
-import zlib
 from itertools import product
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import COST_MODEL_FIELDS, SIM_CONFIG_FIELDS, SimConfig
 from repro.engines import WorkloadSpec, run_config
+from repro.seeds import cell_seed  # noqa: F401  (re-exported; historical home)
 
 #: Short grid-key aliases for the most-swept knobs.
 ALIASES = {
@@ -87,12 +87,6 @@ def expand_grid(grid: Dict[str, List[Any]]) -> List[Dict[str, Any]]:
     return [dict(zip(keys, combo)) for combo in product(*(grid[k] for k in keys))]
 
 
-def cell_seed(base_seed: int, cell: Dict[str, Any]) -> int:
-    """Deterministic per-cell seed: stable across runs and worker counts."""
-    canonical = json.dumps(cell, sort_keys=True, default=str).encode()
-    return (base_seed + zlib.crc32(canonical)) % (2**31)
-
-
 def build_cell(
     cell: Dict[str, Any],
     base_config: Optional[SimConfig] = None,
@@ -132,9 +126,29 @@ def build_cell(
 # Worker entry point (must be importable for multiprocessing pickling).
 # ---------------------------------------------------------------------------
 def _run_cell(
-    payload: Tuple[Dict[str, Any], SimConfig, WorkloadSpec, bool]
+    payload: Tuple[Dict[str, Any], SimConfig, WorkloadSpec, bool, int]
 ) -> Dict[str, Any]:
-    cell, config, workload, telemetry = payload
+    cell, config, workload, telemetry, worlds = payload
+    if worlds > 1:
+        # Monte Carlo cell: K seeds through the vectorized many-worlds
+        # engine (per-world scalar runs when the cell cannot vectorize --
+        # run_worlds warns with the reason).  ``result`` stays the
+        # world-0 run, shaped exactly like a single-run row.
+        from repro.parallel.manyworlds import run_worlds
+
+        mw = run_worlds(config, workload, worlds)
+        row = {
+            "cell": cell,
+            "seed": config.seed,
+            "worlds": worlds,
+            "vectorized": mw.vectorized,
+            "worker_pid": os.getpid(),
+            "result": mw.world_result(0).to_dict(),
+            "envelope": mw.envelopes(),
+        }
+        if mw.fallback_reason:
+            row["fallback_reason"] = mw.fallback_reason
+        return row
     if telemetry:
         # Enabled per worker process: the recorder is process-global, and
         # pool workers run one cell at a time.
@@ -164,6 +178,7 @@ def run_sweep(
     base_workload: Optional[WorkloadSpec] = None,
     base_seed: int = 0,
     telemetry: bool = False,
+    worlds: int = 1,
 ) -> Dict[str, Any]:
     """Run every cell of ``grid``; returns the JSON-ready results table.
 
@@ -172,11 +187,26 @@ def run_sweep(
     order always matches :func:`expand_grid` regardless of scheduling.
     ``telemetry`` records each cell with the telemetry layer enabled and
     attaches its :meth:`~repro.telemetry.runtime.Telemetry.summary` to
-    the row.
+    the row.  ``worlds > 1`` runs every cell as a ``worlds``-seed Monte
+    Carlo batch through :mod:`repro.parallel.manyworlds`: rows gain an
+    ``envelope`` (mean/std/ci95/percentiles per metric) and ``result``
+    becomes the world-0 run.
     """
+    if worlds < 1:
+        raise ValueError("worlds must be >= 1")
+    if worlds > 1 and telemetry:
+        raise ValueError(
+            "telemetry capture is per scalar run; it cannot be combined "
+            "with worlds > 1"
+        )
     cells = expand_grid(grid)
     payloads = [
-        (cell, *build_cell(cell, base_config, base_workload, base_seed), telemetry)
+        (
+            cell,
+            *build_cell(cell, base_config, base_workload, base_seed),
+            telemetry,
+            worlds,
+        )
         for cell in cells
     ]
     if workers > 1 and len(cells) > 1:
@@ -193,6 +223,7 @@ def run_sweep(
             "workers": workers,
             "base_seed": base_seed,
             "telemetry": telemetry,
+            "worlds": worlds,
             "worker_pids": sorted({r["worker_pid"] for r in rows}),
         },
         "rows": rows,
@@ -216,6 +247,17 @@ def summarize(table: Dict[str, Any]) -> str:
     for row in table["rows"]:
         cell = " ".join(f"{k}={v}" for k, v in sorted(row["cell"].items()))
         res = row["result"]
+        env = row.get("envelope")
+        if env:
+            g = env["gbps"]
+            line = (
+                f"  {cell:<40} {g['mean']:8.3f} ± {g['ci95']:.3f} Gbps "
+                f"(p50 {g['p50']:.3f}, p99 {g['p99']:.3f})  "
+                f"[{row['worlds']} worlds, "
+                f"{'vectorized' if row.get('vectorized') else 'scalar'}]"
+            )
+            lines.append(line)
+            continue
         line = (
             f"  {cell:<40} {res['gbps']:8.3f} Gbps  {res['mpps']:7.3f} Mpps  "
             f"{res['delivered_packets']} pkts / {res['cycles']} cycles"

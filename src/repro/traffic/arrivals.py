@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.seeds import coerce_seed as _coerce_seed
 from repro.traffic.rng import draw_float, draw_int, geometric_length, pareto_length
 
 
@@ -38,14 +39,6 @@ class Saturated(ArrivalProcess):
     @property
     def load(self) -> float:
         return 1.0
-
-
-def _coerce_seed(seed) -> int:
-    """Accept an int seed or (for compatibility with the historical
-    signature) an ``np.random.Generator``, from which a seed is drawn."""
-    if hasattr(seed, "integers"):  # a Generator
-        return int(seed.integers(0, 2**31))
-    return int(seed)
 
 
 class Bernoulli(ArrivalProcess):

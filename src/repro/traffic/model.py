@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Protocol, Tuple, runtime_checkable
 
+from repro import seeds
 from repro.traffic.rng import (
     draw_float,
     draw_int,
@@ -83,7 +84,7 @@ class SpecModel:
             )
         self.spec = spec
         self.n = n
-        self.seed = int(seed) & ((1 << 63) - 1)
+        self.seed = seeds.spec_seed(seed)
         self.gate = gate_arrivals and spec.arrivals.kind != "saturated"
         # The destination stream is a pure function of the port only for
         # a drift-free permutation with fixed sizes and no gating.
