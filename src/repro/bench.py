@@ -312,6 +312,179 @@ def format_fabric_large(report: Dict[str, Any]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# The space-partitioned suite (``--engine space``).
+# ---------------------------------------------------------------------------
+#: Schema tag for the ``space_shard`` results section.
+SPACE_SCHEMA = "repro-space-bench/1"
+
+#: Scenario budgets.  Each scenario times the uncached single-process
+#: reference against the space-partitioned run (warm per-chip allocation
+#: caches + token-window workers), asserting bit-identity -- the same
+#: baseline convention as the fabric fast-path suite.  ``clos_n64`` is
+#: the headline: a 64-port Clos (24 8-port chips) across 4 workers.
+SPACE_SCENARIOS: Dict[str, List[Dict[str, Any]]] = {
+    "full": [
+        {"name": "clos_n64", "k": 8, "latency": 8, "partitions": 4,
+         "quanta": 3_000, "warmup": 200,
+         "source": {"kind": "permutation", "words": 256, "shift": 32}},
+        {"name": "clos_n16_uniform", "k": 4, "latency": 4, "partitions": 3,
+         "quanta": 4_000, "warmup": 200,
+         "source": {"kind": "uniform_counter", "words": 256, "seed": 42,
+                    "exclude_self": True}},
+        {"name": "clos_n16", "k": 4, "latency": 4, "partitions": 3,
+         "quanta": 6_000, "warmup": 200,
+         "source": {"kind": "permutation", "words": 256, "shift": 8}},
+    ],
+    "quick": [
+        {"name": "clos_n64", "k": 8, "latency": 8, "partitions": 4,
+         "quanta": 800, "warmup": 100,
+         "source": {"kind": "permutation", "words": 256, "shift": 32}},
+        {"name": "clos_n16", "k": 4, "latency": 4, "partitions": 3,
+         "quanta": 1_500, "warmup": 100,
+         "source": {"kind": "permutation", "words": 256, "shift": 8}},
+    ],
+}
+
+
+def _bench_space_scenario(sc: Dict[str, Any]) -> Dict[str, Any]:
+    """Time one scenario both ways; the partitioned run must be
+    bit-identical to the single-process reference."""
+    from repro.parallel.space_shard import (
+        SpaceSpec, run_space, run_space_serial,
+    )
+
+    spec = SpaceSpec(
+        k=sc["k"],
+        latency=sc["latency"],
+        partitions=sc["partitions"],
+        source=SpaceSpec.pack_source(sc["source"]),
+        quanta=sc["quanta"],
+        warmup_quanta=sc["warmup"],
+    )
+    t0 = time.perf_counter()
+    baseline = run_space_serial(spec, cached=False)
+    baseline_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast, info = run_space(spec)
+    fast_wall = time.perf_counter() - t0
+    return {
+        "scenario": sc["name"],
+        "ports": spec.num_ports,
+        "chips": 3 * sc["k"],
+        "partitions": info.workers,
+        "window": info.window,
+        "quanta": sc["quanta"],
+        "baseline_wall_s": baseline_wall,
+        "fast_wall_s": fast_wall,
+        "speedup": baseline_wall / fast_wall if fast_wall > 0 else None,
+        "stats_match": baseline.counters() == fast.counters(),
+        "gbps": fast.gbps,
+        "delivered_words": fast.delivered_words,
+        "space": {
+            "rounds": info.rounds,
+            "windows_per_worker": info.windows_per_worker,
+            "pipe_stall_s": [round(s, 4) for s in info.pipe_stall_s],
+            "boundary_flits": info.boundary_flits,
+            "serial_fallback": info.serial_fallback,
+        },
+    }
+
+
+def run_space_bench(mode: str = "full") -> Dict[str, Any]:
+    """Run the space-partitioned suite; returns the JSON-ready report."""
+    if mode not in SPACE_SCENARIOS:
+        raise ValueError(f"unknown bench mode {mode!r}")
+    return {
+        "schema": SPACE_SCHEMA,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": [
+            _bench_space_scenario(sc) for sc in SPACE_SCENARIOS[mode]
+        ],
+    }
+
+
+def merge_space(data: Dict[str, Any], report: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold a space report into the results dict (keyed by mode, so a
+    ``--quick`` CI run never clobbers the full-budget numbers)."""
+    sp = data.setdefault("space_shard", {"schema": SPACE_SCHEMA})
+    sp[report["mode"]] = report
+    return data
+
+
+def check_space(report: Dict[str, Any]) -> List[str]:
+    """CI invariants: bit-identical, distributed, and not slower."""
+    problems: List[str] = []
+    for row in report["scenarios"]:
+        if not row["stats_match"]:
+            problems.append(
+                f"{row['scenario']}: partitioned stats differ from the "
+                "single-process reference"
+            )
+        if row["space"]["serial_fallback"]:
+            problems.append(
+                f"{row['scenario']}: fell back to serial (not a "
+                "distributed measurement)"
+            )
+        if row["speedup"] is None or row["speedup"] < 1.0:
+            problems.append(
+                f"{row['scenario']}: speedup {row['speedup']} < 1.0"
+            )
+    return problems
+
+
+def validate_space(data: Dict[str, Any]) -> List[str]:
+    """Schema check for the ``space_shard`` section (if present)."""
+    errors: List[str] = []
+    sp = data.get("space_shard")
+    if sp is None:
+        return errors
+    if sp.get("schema") != SPACE_SCHEMA:
+        errors.append(
+            f"space_shard schema is {sp.get('schema')!r}, "
+            f"expected {SPACE_SCHEMA!r}"
+        )
+    for mode, report in sp.items():
+        if mode == "schema":
+            continue
+        rows = report.get("scenarios") if isinstance(report, dict) else None
+        if not isinstance(rows, list) or not rows:
+            errors.append(f"space_shard.{mode} has no scenarios")
+            continue
+        for row in rows:
+            for field in ("scenario", "partitions", "baseline_wall_s",
+                          "fast_wall_s", "speedup", "stats_match"):
+                if field not in row:
+                    errors.append(
+                        f"space_shard.{mode} scenario missing {field!r}"
+                    )
+            if row.get("stats_match") is not True:
+                errors.append(
+                    f"space_shard.{mode}.{row.get('scenario')}: "
+                    "stats_match is not true"
+                )
+    return errors
+
+
+def format_space(report: Dict[str, Any]) -> str:
+    lines = [
+        f"space-partitioned bench ({report['mode']} budgets, "
+        f"python {report['python']})",
+        f"{'scenario':<18} {'ports':>6} {'P':>3} {'base (s)':>10} "
+        f"{'fast (s)':>10} {'speedup':>9} {'identical':>10}",
+    ]
+    for row in report["scenarios"]:
+        lines.append(
+            f"{row['scenario']:<18} {row['ports']:>6} {row['partitions']:>3} "
+            f"{row['baseline_wall_s']:>10.3f} {row['fast_wall_s']:>10.3f} "
+            f"{row['speedup']:>8.1f}x "
+            f"{('yes' if row['stats_match'] else 'NO'):>10}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # The many-worlds suite (``--engine manyworlds``).
 # ---------------------------------------------------------------------------
 #: Schema tag for the ``manyworlds`` results section.
@@ -591,11 +764,31 @@ def main(
     engines = list(engines) if engines else None
     fabric_large = engines is not None and "fabric-large" in engines
     manyworlds = engines is not None and "manyworlds" in engines
+    space = engines is not None and "space" in engines
     kernel_engines = (
-        [e for e in engines if e not in ("fabric-large", "manyworlds")]
+        [e for e in engines if e not in ("fabric-large", "manyworlds", "space")]
         if engines
         else None
     )
+    if space:
+        report = run_space_bench(mode=mode)
+        data = merge_space(load_results(path), report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=2) + "\n")
+        print(format_space(report))
+        print(f"wrote {path}")
+        if check_only:
+            problems = check_space(report)
+            for p in problems:
+                print(f"space check failed: {p}", file=sys.stderr)
+            if problems:
+                return 1
+            print(
+                "space check ok: all scenarios bit-identical, distributed, "
+                "speedup >= 1"
+            )
+        if not kernel_engines and not fabric_large and not manyworlds:
+            return 0
     if manyworlds:
         report = run_manyworlds_bench(mode=mode)
         data = merge_manyworlds(load_results(path), report)
@@ -631,12 +824,13 @@ def main(
             print("fast-path check ok: all scenarios bit-identical, speedup >= 1")
         if not kernel_engines:
             return 0
-    if check_only and not fabric_large and not manyworlds:
+    if check_only and not fabric_large and not manyworlds and not space:
         data = load_results(path)
         errors = (
             validate_results(data)
             + validate_fabric_large(data)
             + validate_manyworlds(data)
+            + validate_space(data)
         )
         if errors:
             for err in errors:

@@ -108,14 +108,19 @@ REGISTRY: Dict[str, Tuple[str, Callable, Callable]] = {
         lambda: multicast_ext.run(quanta=1000),
     ),
     "scaling": (
-        "Section 8.5: N-port scaling (neighbor vs antipodal)",
+        "Section 8.5: N-port scaling (neighbor vs antipodal), space "
+        "Clos to N=64",
         lambda: scaling.run(quanta=2000),
-        lambda: scaling.run(port_counts=(4, 8), quanta=600),
+        lambda: scaling.run(
+            port_counts=(4, 8), quanta=600, space_port_counts=(16,),
+            space_partitions=2,
+        ),
     ),
     "multichip": (
-        "Section 8.5: Clos of 4-port crossbars vs one big ring",
+        "Section 8.5: Clos of k-port crossbars vs one big ring "
+        "(space-partitionable)",
         lambda: multichip.run(quanta=2000),
-        lambda: multichip.run(quanta=500),
+        lambda: multichip.run(quanta=500, partitions=2, latency=2),
     ),
     "lookup": (
         "Section 8.2: route-lookup structures on a tile",
@@ -205,7 +210,11 @@ def _cmd_sweep(args) -> int:
     from repro.engines import WorkloadSpec
     from repro.sweep import parse_grid, run_sweep, summarize, write_results
 
-    base_config = SimConfig(fidelity=args.fidelity)
+    base_config = SimConfig(
+        fidelity=args.fidelity,
+        partitions=args.partitions,
+        link_latency=args.link_latency,
+    )
     base_workload = WorkloadSpec(
         pattern=args.pattern,
         packet_bytes=args.bytes,
@@ -255,7 +264,8 @@ def main(argv=None) -> int:
         metavar="E1[,E2...]",
         help="comma-separated engine subset (default: all three kernel "
         "engines); 'fabric-large' selects the fabric fast-path suite, "
-        "'manyworlds' the vectorized Monte Carlo suite",
+        "'manyworlds' the vectorized Monte Carlo suite, 'space' the "
+        "space-partitioned distributed-Clos suite",
     )
     bench.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
     bench.add_argument(
@@ -382,8 +392,25 @@ def main(argv=None) -> int:
     sweep.add_argument(
         "--fidelity",
         default="fabric",
-        choices=("fabric", "router", "wordlevel"),
+        choices=("fabric", "space", "router", "wordlevel"),
         help="default engine for cells that do not sweep it",
+    )
+    sweep.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        metavar="P",
+        help="default space-engine worker count for cells that do not "
+        "sweep it (cells can also sweep `partitions=1,2,4` as an axis; "
+        "only the `space` fidelity distributes)",
+    )
+    sweep.add_argument(
+        "--link-latency",
+        type=int,
+        default=4,
+        metavar="L",
+        help="inter-chip channel latency in quanta for the space engine "
+        "(= the token-window length)",
     )
     sweep.add_argument(
         "--pattern",

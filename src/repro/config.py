@@ -112,9 +112,10 @@ class CostModel:
 _DEFAULT = CostModel()
 
 #: Engine fidelities, cheapest first (see DESIGN.md "Engines and
-#: configuration"): the quantum-level fabric loop, the phase-level
-#: pipelined router, and the word-level chip simulation.
-FIDELITIES = ("fabric", "router", "wordlevel")
+#: configuration"): the quantum-level fabric loop, the space-partitioned
+#: multi-chip Clos (token-window workers, DESIGN.md §13), the
+#: phase-level pipelined router, and the word-level chip simulation.
+FIDELITIES = ("fabric", "space", "router", "wordlevel")
 
 
 @dataclass(frozen=True)
@@ -143,6 +144,12 @@ class SimConfig:
     #: detection + fast-forward for deterministic saturated sources.
     alloc_cache: int = 0
     fast_forward: bool = False
+    #: Space fidelity only (DESIGN.md §13): worker-process count for the
+    #: token-window partitioned Clos (1 = in-process serial reference)
+    #: and the uniform inter-chip channel latency in quanta (= the token
+    #: window length).
+    partitions: int = 1
+    link_latency: int = 4
     costs: CostModel = field(default=_DEFAULT)
 
     def __post_init__(self):
@@ -150,6 +157,10 @@ class SimConfig:
             raise ValueError("a router needs at least 2 ports")
         if self.alloc_cache < 0:
             raise ValueError("alloc_cache must be >= 0 (0 disables)")
+        if self.partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        if self.link_latency < 1:
+            raise ValueError("link_latency must be >= 1 quantum")
         if self.networks not in (1, 2):
             raise ValueError("Raw has one or two static networks")
         if self.fidelity not in FIDELITIES:

@@ -174,6 +174,18 @@ class _FabricFaultState:
             return dest
         return self.degraded.remap(dest)
 
+    def quiescent(self) -> bool:
+        """True once the plan can no longer influence the future: every
+        event consumed, every window expired, token recovery finished,
+        and no port permanently dead (dead ports remap routing forever,
+        which a queues+clock+token snapshot cannot carry)."""
+        return (
+            self._next >= len(self._events)
+            and not self._windows
+            and not self.recovery.lost
+            and not self.degraded.any_dead
+        )
+
 
 @dataclass
 class FabricStats:
@@ -352,10 +364,23 @@ class FabricSimulator:
         Queues, clock, and token -- everything the step loop reads
         (stochastic *source* state is the caller's to pair with this;
         see :mod:`repro.parallel.fabric_shard`).  Fault state is
-        deliberately excluded: snapshotting mid-fault-plan is not
-        supported."""
+        deliberately excluded, so an armed plan only permits snapshot
+        once it is *quiescent* -- every event consumed, every window
+        expired, recovery done, no dead ports, and no corrupt fragments
+        still queued (the corrupt flag is not captured).  Mid-window
+        snapshots keep raising: the continuation would silently drop the
+        remaining fault behavior."""
         if self.faults is not None:
-            raise ValueError("cannot snapshot a simulator with an armed fault plan")
+            if not self.faults.quiescent():
+                raise ValueError(
+                    "cannot snapshot a simulator with an armed fault plan "
+                    "(fault events or windows still pending)"
+                )
+            if any(f.corrupt for q in self._queues for f in q):
+                raise ValueError(
+                    "cannot snapshot while corrupt fragments are queued "
+                    "(the corrupt flag is not part of the snapshot)"
+                )
         token = self.token
         return {
             "clock": self.clock,

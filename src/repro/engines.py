@@ -296,6 +296,82 @@ class FabricEngine(_BaseEngine):
         )
 
 
+class SpaceEngine(_BaseEngine):
+    """Multi-chip fidelity: a Clos of k-port crossbar chips run as
+    space partitions (:mod:`repro.parallel.space_shard`).
+
+    ``config.ports`` must be a perfect square ``k*k`` (the Clos wants
+    ``3k`` chips of ``k`` ports); ``config.partitions`` workers advance
+    ``config.link_latency``-quantum token windows.  A reusable warm
+    :class:`~repro.parallel.space_shard.SpaceWorkerPool` can be bound
+    via :attr:`pool` to amortize process setup across runs.
+    """
+
+    fidelity = "space"
+
+    def __init__(self, config: Optional[SimConfig] = None):
+        super().__init__(config)
+        self.pool = None  #: optional warm SpaceWorkerPool
+
+    def _spec(self, workload: WorkloadSpec):
+        import math
+
+        from repro.parallel.space_shard import SpaceSpec
+        from repro.traffic.build import shard_source
+
+        ports = self.config.ports
+        k = math.isqrt(ports)
+        if k * k != ports or k < 2:
+            raise ValueError(
+                f"space fidelity needs a square port count (k*k), got {ports}"
+            )
+        source = shard_source(workload.effective_traffic(), seed=self.config.seed)
+        warmup = (
+            workload.warmup_quanta
+            if workload.warmup_quanta is not None
+            else max(50, workload.quanta // 20)
+        )
+        return SpaceSpec(
+            k=k,
+            latency=self.config.link_latency,
+            partitions=self.config.partitions,
+            costs=self.config.cost_model(),
+            source=SpaceSpec.pack_source(source),
+            quanta=workload.quanta,
+            warmup_quanta=warmup,
+            cache_size=self.config.alloc_cache,
+        )
+
+    def run(self, workload: WorkloadSpec) -> RunResult:
+        from repro.parallel.space_shard import run_space
+
+        if workload.fault_plan is not None:
+            raise ValueError(
+                "the space engine has no fault realization yet; "
+                "run fault plans at fabric fidelity"
+            )
+        spec = self._spec(workload)
+        stats, info = run_space(spec, pool=self.pool)
+        return RunResult(
+            fidelity=self.fidelity,
+            cycles=stats.cycles,
+            delivered_packets=stats.delivered_packets,
+            delivered_words=stats.delivered_words,
+            gbps=stats.gbps,
+            mpps=stats.mpps,
+            per_port_packets=list(stats.per_port_packets),
+            latency={},  # quantum-level loop; no per-packet latency
+            config=self.config,
+            workload=workload,
+            extra={
+                "quanta": stats.quanta,
+                "idle_quanta": stats.idle_quanta,
+                "blocked_events": stats.blocked_events,
+                "space_shard": info.extra_dict(),
+            },
+        )
+
+
 class RouterEngine(_BaseEngine):
     """Phase-level fidelity: the full pipelined :class:`RawRouter`."""
 
@@ -412,6 +488,7 @@ def costs_word_bits(costs: CostModel) -> int:
 
 ENGINES = {
     FabricEngine.fidelity: FabricEngine,
+    SpaceEngine.fidelity: SpaceEngine,
     RouterEngine.fidelity: RouterEngine,
     WordLevelEngine.fidelity: WordLevelEngine,
 }

@@ -1,6 +1,9 @@
 """Within-run parallelism: split one simulation's timeline across
-processes (unlike :mod:`repro.sweep`, which only parallelizes *across*
-independent cells)."""
+processes (:mod:`~repro.parallel.fabric_shard`, time axis), or the
+topology itself across token-window worker processes
+(:mod:`~repro.parallel.space_shard`, space axis) -- unlike
+:mod:`repro.sweep`, which only parallelizes *across* independent
+cells."""
 
 from repro.parallel.fabric_shard import (  # noqa: F401
     ShardedRunInfo,
@@ -9,6 +12,14 @@ from repro.parallel.fabric_shard import (  # noqa: F401
     run_serial,
     run_sharded,
 )
+from repro.parallel.space_shard import (  # noqa: F401
+    SpaceRunInfo,
+    SpaceSpec,
+    SpaceWorkerPool,
+    run_space,
+    run_space_inprocess,
+    run_space_serial,
+)
 
 __all__ = [
     "ShardSpec",
@@ -16,4 +27,10 @@ __all__ = [
     "merge_stats",
     "run_serial",
     "run_sharded",
+    "SpaceSpec",
+    "SpaceRunInfo",
+    "SpaceWorkerPool",
+    "run_space",
+    "run_space_inprocess",
+    "run_space_serial",
 ]

@@ -1,0 +1,598 @@
+"""Space-partitioned distributed fabric: token-window worker processes.
+
+:mod:`repro.parallel.fabric_shard` shards one fabric timeline in *time*;
+this module shards the topology in *space*.  A
+:class:`~repro.core.spacetopo.SpaceTopology` (a Clos of k-port Rotating
+Crossbar chips) is cut into ``P`` partitions of whole chips; each worker
+process owns one partition and advances it locally for ``L`` quanta
+(``L`` = the minimum latency of any inter-partition channel) before
+exchanging one *window* of boundary traffic with its peers -- the
+firesim token-queue discipline, where every boundary link carries a
+link-latency window's worth of flit tokens per round instead of a
+per-cycle handshake.
+
+Why this is safe (the conservative-lookahead argument, DESIGN.md §13):
+a fragment consumed during round ``r`` (quanta ``[rL, (r+1)L)``) arrives
+at ``send_quantum + latency >= send_quantum + L``, so it was sent at a
+quantum ``< rL`` -- i.e. during some round ``<= r - 1``, whose batches
+the receiver holds before round ``r`` begins.  The (worker, round)
+dependency graph is acyclic, so the protocol cannot deadlock, and no
+worker ever needs a peer's *current* quantum.
+
+Bit-identity with the serial reference is structural: both paths run the
+same :class:`~repro.core.spacetopo.PartitionSim` stepper (serial = one
+instance owning every chip) and the same associative
+:func:`~repro.core.spacetopo.merge_part_stats` fold; property tests in
+``tests/test_space_shard.py`` pin P ∈ {1, 2, 4, 5} against serial across
+chip sizes and traffic families.
+
+Workers are *persistent*: :class:`SpaceWorkerPool` keeps the processes
+warm between runs and streams successive :class:`SpaceSpec` s to them
+over command pipes -- the seed of the long-lived simulator service the
+ROADMAP names.  Boundary batches travel over dedicated one-way
+:func:`multiprocessing.Pipe` s (one per ordered partition pair), so
+rounds pipeline without a global barrier: a worker that finished its
+window blocks only on the specific peers feeding it.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import CostModel
+from repro.core.fabricsim import (
+    FabricStats,
+    saturated_permutation,
+    saturated_uniform_counter,
+)
+from repro.core.spacetopo import (
+    PartitionSim,
+    SpaceTopology,
+    build_topology,
+    merge_part_stats,
+    part_payload,
+    payload_to_stats,
+)
+from repro.telemetry import runtime as _telemetry
+
+
+@dataclass(frozen=True)
+class SpaceSpec:
+    """A picklable description of one space-partitionable fabric run.
+
+    ``k`` is the chip port count; a ``"clos"`` geometry yields ``k * k``
+    external ports on ``3k`` chips.  ``latency`` is the uniform
+    inter-chip channel latency in quanta and therefore the token window.
+    ``source`` uses the same declarative forms as
+    :class:`~repro.parallel.fabric_shard.ShardSpec`, always instantiated
+    counter-based so per-port draws are partition-independent.
+    """
+
+    k: int = 4
+    geometry: str = "clos"
+    latency: int = 4
+    partitions: int = 3
+    costs: CostModel = field(default_factory=CostModel.default)
+    source: Tuple[Tuple[str, Any], ...] = (("kind", "permutation"), ("words", 256))
+    quanta: int = 2000
+    warmup_quanta: int = 200
+    cache_size: int = 4096  #: per-chip allocation LRU (0 disables)
+
+    def __post_init__(self):
+        if self.latency < 1:
+            raise ValueError("channel latency must be >= 1 quantum")
+        if self.partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        if self.warmup_quanta < 0 or self.quanta < 1:
+            raise ValueError("need quanta >= 1 and warmup_quanta >= 0")
+
+    @property
+    def num_ports(self) -> int:
+        return self.k * self.k
+
+    def source_dict(self) -> Dict[str, Any]:
+        return dict(self.source)
+
+    @staticmethod
+    def pack_source(source: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+        """Dict -> hashable/picklable tuple form for the frozen spec."""
+        return tuple(sorted(source.items()))
+
+    def topology(self) -> SpaceTopology:
+        return build_topology(self.geometry, self.k, latency=self.latency)
+
+
+@dataclass
+class SpaceRunInfo:
+    """How a space-partitioned run was actually executed, including the
+    per-worker window/stall/boundary counters surfaced in
+    ``RunResult.extra`` and ``Telemetry.summary()``."""
+
+    partitions: int
+    workers: int
+    window: int
+    rounds: int
+    node_blocks: List[List[int]]
+    windows_per_worker: List[int]
+    pipe_stall_s: List[float]
+    boundary_flits: List[int]
+    serial_fallback: bool = False
+    fallback_reason: str = ""
+
+    def extra_dict(self) -> Dict[str, Any]:
+        """The JSON-safe form attached to ``RunResult.extra``."""
+        return {
+            "partitions": self.partitions,
+            "workers": self.workers,
+            "window": self.window,
+            "rounds": self.rounds,
+            "windows_per_worker": list(self.windows_per_worker),
+            "pipe_stall_s": [round(s, 6) for s in self.pipe_stall_s],
+            "boundary_flits": list(self.boundary_flits),
+            "serial_fallback": self.serial_fallback,
+            "fallback_reason": self.fallback_reason,
+        }
+
+
+def make_space_source(spec: SpaceSpec):
+    """Instantiate the declarative workload for ``spec.num_ports`` ports.
+
+    Every supported kind draws per-port from independent counters, which
+    is what lets a partition poll only its own external ports and still
+    reproduce the serial draw sequence exactly.
+    """
+    src = spec.source_dict()
+    kind = src["kind"]
+    n = spec.num_ports
+    if kind == "permutation":
+        return saturated_permutation(src["words"], shift=src.get("shift", 2), n=n)
+    if kind == "uniform_counter":
+        return saturated_uniform_counter(
+            src["words"],
+            src["seed"],
+            n=n,
+            exclude_self=src.get("exclude_self", True),
+        )
+    if kind == "traffic":
+        from repro.traffic.build import fabric_source_for_shard
+
+        return fabric_source_for_shard(src, ports=n, costs=spec.costs)
+    raise ValueError(f"unknown space source kind {kind!r}")
+
+
+def build_partition(
+    spec: SpaceSpec, topo: SpaceTopology, node_ids, cached: bool = True
+) -> PartitionSim:
+    return PartitionSim(
+        topo,
+        node_ids,
+        costs=spec.costs,
+        cache_size=spec.cache_size if cached else 0,
+    )
+
+
+def run_space_serial(spec: SpaceSpec, cached: bool = False) -> FabricStats:
+    """The single-process reference: one :class:`PartitionSim` owning
+    every chip, stepped over the whole timeline (``cached=False`` is the
+    unoptimized baseline the bench suite measures against)."""
+    topo = spec.topology()
+    sim = build_partition(spec, topo, range(topo.num_nodes), cached=cached)
+    source = make_space_source(spec)
+    sim.advance(source, 0, spec.warmup_quanta + spec.quanta, spec.warmup_quanta)
+    if sim.outgoing:
+        raise AssertionError("serial partition produced boundary traffic")
+    return merge_part_stats([sim.stats], topo.num_ports, spec.costs)
+
+
+# ---------------------------------------------------------------------------
+# The worker side: one process per partition, persistent across runs.
+# ---------------------------------------------------------------------------
+def _simulate_partition(
+    spec: SpaceSpec,
+    part_id: int,
+    blocks: List[List[int]],
+    recv_fns: Dict[int, Any],
+    send_fns: Dict[int, Any],
+) -> Tuple[Dict[str, Any], int, float, int]:
+    """Run one partition's token-window rounds.
+
+    ``recv_fns[peer]()`` blocks until that peer's next batch arrives;
+    ``send_fns[peer](batch)`` ships one.  Returns ``(stats payload,
+    windows, pipe-stall seconds, boundary flits sent)``.  The same
+    function drives both the multiprocessing workers (pipe ``recv`` /
+    ``send``) and the in-process fallback used by tests.
+    """
+    topo = spec.topology()
+    owner = topo.node_owner(blocks)
+    sim = build_partition(spec, topo, blocks[part_id], cached=True)
+    source = make_space_source(spec)
+    window = min(topo.window(blocks), spec.warmup_quanta + spec.quanta)
+    in_peers = sorted(
+        {
+            owner[ch.src_node]
+            for ch in topo.channels
+            if owner[ch.dst_node] == part_id and owner[ch.src_node] != part_id
+        }
+    )
+    out_peers = sorted(
+        {
+            owner[ch.dst_node]
+            for ch in topo.channels
+            if owner[ch.src_node] == part_id and owner[ch.dst_node] != part_id
+        }
+    )
+    total = spec.warmup_quanta + spec.quanta
+    rounds = -(-total // window)
+    stall = 0.0
+    flits_sent = 0
+    q = 0
+    for r in range(rounds):
+        if r > 0:
+            # Collect every in-peer's round r-1 window in peer order; the
+            # per-channel FIFOs inside inject() preserve send order, so
+            # arrival order at each input leg matches the serial run.
+            for peer in in_peers:
+                t0 = time.perf_counter()
+                batch = recv_fns[peer]()
+                stall += time.perf_counter() - t0
+                for cid, send_q, frag in batch:
+                    sim.inject(cid, send_q, frag)
+        count = min(window, total - q)
+        sim.advance(source, q, count, spec.warmup_quanta)
+        q += count
+        if r < rounds - 1:
+            # Ship this round's boundary sends, one batch per out-peer,
+            # empty batches included (the receiver counts arrivals, not
+            # contents, to know the window is complete).
+            out = sim.drain_outgoing()
+            flits_sent += len(out)
+            batches: Dict[int, List[Tuple[int, int, Any]]] = {
+                peer: [] for peer in out_peers
+            }
+            for cid, send_q, frag in out:
+                dst_part = owner[topo.channels[cid].dst_node]
+                batches[dst_part].append((cid, send_q, frag))
+            for peer in out_peers:
+                send_fns[peer](batches[peer])
+        else:
+            flits_sent += len(sim.drain_outgoing())
+    return part_payload(sim.stats), rounds, stall, flits_sent
+
+
+def _space_worker(part_id, cmd_conn, recv_conns, send_conns):
+    """Persistent worker loop: block on the command pipe, run one
+    partition per ``("run", spec, blocks)`` message, exit on ``None``."""
+    recv_fns = {peer: conn.recv for peer, conn in recv_conns.items()}
+    send_fns = {peer: conn.send for peer, conn in send_conns.items()}
+    while True:
+        msg = cmd_conn.recv()
+        if msg is None:
+            return
+        _tag, spec, blocks = msg
+        try:
+            result = _simulate_partition(
+                spec, part_id, blocks, recv_fns, send_fns
+            )
+            cmd_conn.send(("ok", result))
+        except Exception as exc:  # surfaced in the parent, not swallowed
+            cmd_conn.send(("err", f"{type(exc).__name__}: {exc}"))
+
+
+class SpaceWorkerPool:
+    """A warm pool of ``P`` partition workers plus their boundary pipes.
+
+    Construction forks the processes and wires one simplex data pipe per
+    ordered partition pair (full mesh -- any geometry's boundary graph
+    is a subgraph).  :meth:`run` streams a :class:`SpaceSpec` to every
+    worker and gathers the merged stats; the processes survive between
+    runs, so successive workloads skip process/pipe setup entirely.
+    Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, partitions: int):
+        import multiprocessing as mp
+
+        if partitions < 2:
+            raise ValueError("a worker pool needs at least 2 partitions")
+        self.partitions = partitions
+        ctx = mp.get_context()
+        # cmd_pipes[p]: duplex parent <-> worker p (specs down, stats up).
+        self._cmd_parent = []
+        cmd_children = []
+        for _ in range(partitions):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            self._cmd_parent.append(parent_end)
+            cmd_children.append(child_end)
+        # data_pipes[(src, dst)]: simplex src -> dst boundary batches.
+        recv_ends: List[Dict[int, Any]] = [{} for _ in range(partitions)]
+        send_ends: List[Dict[int, Any]] = [{} for _ in range(partitions)]
+        self._data_ends = []
+        for src in range(partitions):
+            for dst in range(partitions):
+                if src == dst:
+                    continue
+                r_end, s_end = ctx.Pipe(duplex=False)
+                recv_ends[dst][src] = r_end
+                send_ends[src][dst] = s_end
+                self._data_ends.extend((r_end, s_end))
+        self._procs = []
+        for p in range(partitions):
+            proc = ctx.Process(
+                target=_space_worker,
+                args=(p, cmd_children[p], recv_ends[p], send_ends[p]),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        # The parent must drop its references to the child pipe ends so
+        # worker exit closes them cleanly.
+        for end in cmd_children:
+            end.close()
+        for end in self._data_ends:
+            end.close()
+        self._data_ends = []
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SpaceSpec) -> Tuple[FabricStats, SpaceRunInfo]:
+        if spec.partitions != self.partitions:
+            raise ValueError(
+                f"pool has {self.partitions} workers; spec wants "
+                f"{spec.partitions} partitions"
+            )
+        topo = spec.topology()
+        blocks = topo.partition(self.partitions)
+        if len(blocks) != self.partitions:
+            raise ValueError(
+                f"{self.partitions} partitions over {topo.num_nodes} chips "
+                "leaves empty workers; lower --partitions"
+            )
+        for conn in self._cmd_parent:
+            conn.send(("run", spec, blocks))
+        payloads, rounds_seen, stalls, flits = [], [], [], []
+        errors = []
+        for p, conn in enumerate(self._cmd_parent):
+            status, result = conn.recv()
+            if status != "ok":
+                errors.append(f"partition {p}: {result}")
+                continue
+            payload, rounds, stall, sent = result
+            payloads.append(payload)
+            rounds_seen.append(rounds)
+            stalls.append(stall)
+            flits.append(sent)
+        if errors:
+            raise RuntimeError("space workers failed: " + "; ".join(errors))
+        self.runs += 1
+        stats = merge_part_stats(
+            [payload_to_stats(p) for p in payloads], topo.num_ports, spec.costs
+        )
+        info = SpaceRunInfo(
+            partitions=self.partitions,
+            workers=self.partitions,
+            window=min(topo.window(blocks), spec.warmup_quanta + spec.quanta),
+            rounds=max(rounds_seen),
+            node_blocks=blocks,
+            windows_per_worker=rounds_seen,
+            pipe_stall_s=stalls,
+            boundary_flits=flits,
+        )
+        return stats, info
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for conn in self._cmd_parent:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._cmd_parent:
+            conn.close()
+        self._cmd_parent = []
+        self._procs = []
+
+    def __enter__(self) -> "SpaceWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        if getattr(self, "_procs", None):
+            self.close()
+
+
+# ---------------------------------------------------------------------------
+# The driver.
+# ---------------------------------------------------------------------------
+def run_space(
+    spec: SpaceSpec, pool: Optional[SpaceWorkerPool] = None
+) -> Tuple[FabricStats, SpaceRunInfo]:
+    """Run ``spec`` space-partitioned; bit-identical to
+    :func:`run_space_serial`.
+
+    With ``partitions == 1`` (or an active telemetry recorder, which
+    needs the single observable event stream) the run stays in-process
+    -- the fallback is *loud* (a :class:`RuntimeWarning` naming the
+    reason) so a user asking for P workers never silently measures one.
+    A supplied warm ``pool`` is used as-is; otherwise a throwaway pool
+    is created and torn down around the run.
+    """
+    reason = ""
+    if spec.partitions == 1:
+        reason = "partitions=1"
+    elif _telemetry.RECORDER is not None:
+        reason = (
+            "telemetry recorder active: distributed workers cannot emit "
+            "one coherent event stream"
+        )
+        warnings.warn(
+            f"space run falling back to serial ({reason})", RuntimeWarning,
+            stacklevel=2,
+        )
+    if reason:
+        stats = run_space_serial(spec, cached=True)
+        topo = spec.topology()
+        blocks = topo.partition(1)
+        info = SpaceRunInfo(
+            partitions=spec.partitions,
+            workers=1,
+            window=min(topo.window(blocks), spec.warmup_quanta + spec.quanta),
+            rounds=1,
+            node_blocks=blocks,
+            windows_per_worker=[1],
+            pipe_stall_s=[0.0],
+            boundary_flits=[0],
+            serial_fallback=True,
+            fallback_reason=reason,
+        )
+        _register_gauges(info)
+        return stats, info
+    owned_pool = pool is None
+    if owned_pool:
+        pool = SpaceWorkerPool(spec.partitions)
+    try:
+        stats, info = pool.run(spec)
+    finally:
+        if owned_pool:
+            pool.close()
+    _register_gauges(info)
+    return stats, info
+
+
+def _register_gauges(info: SpaceRunInfo) -> None:
+    """Publish the distributed-run counters to an active recorder (the
+    fallback path is the only one that can run *under* telemetry, but
+    callers may also enable telemetry after a run to inspect gauges)."""
+    tel = _telemetry.RECORDER
+    if tel is None:
+        return
+    reg = tel.registry
+    reg.set_gauge("space.windows", sum(info.windows_per_worker))
+    reg.set_gauge("space.pipe_stall_s", round(sum(info.pipe_stall_s), 6))
+    reg.set_gauge("space.boundary_flits", sum(info.boundary_flits))
+    reg.set_gauge("space.partitions", info.partitions)
+    reg.set_gauge("space.serial_fallback", info.serial_fallback)
+
+
+# ---------------------------------------------------------------------------
+# In-process round loop (no processes): used by tests to exercise the
+# exact window protocol deterministically under unequal partitions.
+# ---------------------------------------------------------------------------
+def run_space_inprocess(spec: SpaceSpec) -> Tuple[FabricStats, SpaceRunInfo]:
+    """Execute the token-window protocol with all partitions in one
+    process, interleaved round-robin via queue-backed pipes.
+
+    Same :func:`_simulate_partition` code as the worker processes --
+    only the transport differs (plain lists instead of pipes) -- so it
+    pins the *protocol* (window sizing, batch ordering, unequal
+    partition sizes) without multiprocessing nondeterminism.
+    """
+    from collections import deque as _dq
+
+    topo = spec.topology()
+    blocks = topo.partition(spec.partitions)
+    parts = len(blocks)
+    mailboxes: Dict[Tuple[int, int], Any] = {
+        (src, dst): _dq()
+        for src in range(parts)
+        for dst in range(parts)
+        if src != dst
+    }
+
+    def recv_fn(src: int, dst: int):
+        def _recv():
+            box = mailboxes[(src, dst)]
+            if not box:
+                raise RuntimeError(
+                    f"deadlock: partition {dst} waiting on {src} with an "
+                    "empty mailbox (window protocol violated)"
+                )
+            return box.popleft()
+
+        return _recv
+
+    results = []
+    # Round-robin co-execution: because each round's receives depend only
+    # on the previous round's sends, running partitions to completion one
+    # at a time *in any order* would deadlock, but stepping them through
+    # the protocol as generators is unnecessary -- sends all happen
+    # before the next round's receives, so executing partitions in order
+    # per *round* works.  _simulate_partition runs the whole timeline,
+    # so instead exploit the acyclic dependency: run partitions in an
+    # order where every in-peer batch is already present.  For arbitrary
+    # graphs that order may not exist within a single pass, so this
+    # helper simply pre-computes each partition fully, relying on the
+    # protocol property that partition p's round-r sends never depend on
+    # any other partition's round-r sends ... which holds only for
+    # DAG-ordered topologies like the feed-forward Clos (ingress ->
+    # middle -> egress).  The general case is what the process pool is
+    # for; tests use this helper on Clos only.
+    order = _toposort_partitions(topo, blocks)
+    for part_id in order:
+        recv_fns = {
+            src: recv_fn(src, part_id)
+            for src in range(parts)
+            if (src, part_id) in mailboxes
+        }
+        send_fns = {
+            dst: mailboxes[(part_id, dst)].append
+            for dst in range(parts)
+            if (part_id, dst) in mailboxes
+        }
+        results.append(
+            (part_id, _simulate_partition(spec, part_id, blocks, recv_fns, send_fns))
+        )
+    results.sort()
+    payloads = [payload_to_stats(r[1][0]) for r in results]
+    stats = merge_part_stats(payloads, topo.num_ports, spec.costs)
+    info = SpaceRunInfo(
+        partitions=parts,
+        workers=1,
+        window=min(topo.window(blocks), spec.warmup_quanta + spec.quanta),
+        rounds=max(r[1][1] for r in results),
+        node_blocks=blocks,
+        windows_per_worker=[r[1][1] for r in results],
+        pipe_stall_s=[r[1][2] for r in results],
+        boundary_flits=[r[1][3] for r in results],
+    )
+    return stats, info
+
+
+def _toposort_partitions(
+    topo: SpaceTopology, blocks: List[List[int]]
+) -> List[int]:
+    """Partition order where every boundary producer precedes its
+    consumers; raises on cyclic partition graphs (those need the real
+    process pool)."""
+    owner = topo.node_owner(blocks)
+    parts = len(blocks)
+    deps: Dict[int, set] = {p: set() for p in range(parts)}
+    for ch in topo.channels:
+        a, b = owner[ch.src_node], owner[ch.dst_node]
+        if a != b:
+            deps[b].add(a)
+    order: List[int] = []
+    ready = [p for p in range(parts) if not deps[p]]
+    while ready:
+        p = ready.pop()
+        order.append(p)
+        for q in range(parts):
+            if p in deps[q]:
+                deps[q].discard(p)
+                if not deps[q]:
+                    ready.append(q)
+    if len(order) != parts:
+        raise ValueError(
+            "cyclic partition graph: in-process execution needs a "
+            "feed-forward topology (use the worker pool)"
+        )
+    return order

@@ -270,5 +270,18 @@ def summarize(table: Dict[str, Any]) -> str:
                 f"  [cache {fp['cache_hit_rate'] * 100:.0f}% hit, "
                 f"ff {fp['ff_quanta']}q]"
             )
+        sp = res.get("extra", {}).get("space_shard") or row.get(
+            "telemetry", {}
+        ).get("space_shard")
+        if sp:
+            if sp.get("serial_fallback"):
+                line += f"  [space serial: {sp.get('fallback_reason', '?')}]"
+            else:
+                line += (
+                    f"  [space P{sp['workers']}, "
+                    f"{sum(sp['windows_per_worker'])}w, "
+                    f"stall {sum(sp['pipe_stall_s']):.2f}s, "
+                    f"{sum(sp['boundary_flits'])} bflits]"
+                )
         lines.append(line)
     return "\n".join(lines)

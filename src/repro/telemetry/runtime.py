@@ -63,6 +63,26 @@ class Telemetry:
                 "cache_hit_rate": (hits or 0) / total if total else 0.0,
                 "ff_quanta": ff or 0,
             }
+        windows = self.registry.read_gauge("space.windows")
+        if windows is not None:
+            # The space-partitioned engine's per-run counters (telemetry
+            # forces its loud serial fallback, so workers/stalls describe
+            # that in-process run; distributed runs attach the same shape
+            # through RunResult.extra["space_shard"] instead).
+            out["space_shard"] = {
+                "windows": windows,
+                "pipe_stall_s": self.registry.read_gauge("space.pipe_stall_s")
+                or 0.0,
+                "boundary_flits": self.registry.read_gauge(
+                    "space.boundary_flits"
+                )
+                or 0,
+                "partitions": self.registry.read_gauge("space.partitions")
+                or 1,
+                "serial_fallback": bool(
+                    self.registry.read_gauge("space.serial_fallback")
+                ),
+            }
         return out
 
     def _base_summary(self) -> Dict[str, Any]:

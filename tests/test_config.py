@@ -162,7 +162,7 @@ class TestSimConfig:
             SimConfig(fidelity="spice")
 
     def test_fidelities_cover_engines(self):
-        assert FIDELITIES == ("fabric", "router", "wordlevel")
+        assert FIDELITIES == ("fabric", "space", "router", "wordlevel")
 
     def test_pickle_round_trip(self):
         config = SimConfig(ports=8, seed=7, costs=CostModel.default().replace(cache_ways=4))

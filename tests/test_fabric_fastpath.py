@@ -195,6 +195,56 @@ class TestSnapshotRestore:
         with pytest.raises(ValueError):
             sim.snapshot()
 
+    def test_snapshot_allowed_once_fault_plan_quiescent(self):
+        # A stall window early in the run: snapshot must refuse while the
+        # window is pending/open, then succeed once every event has fired
+        # and expired -- and the continuation must stay bit-identical.
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    cycle=500, kind="stall", target="port:1", duration=2_000
+                ),
+            )
+        )
+        source = saturated_permutation(64, shift=1)
+        whole_sim = FabricSimulator()
+        whole_sim.install_faults(plan)
+        whole = whole_sim.run(source, quanta=400, warmup_quanta=100)
+
+        first = FabricSimulator()
+        first.install_faults(plan)
+        first.run(source, quanta=100, warmup_quanta=0)
+        snap = first.snapshot()  # clock is far past the window by now
+        assert first.faults.quiescent()
+        resumed = FabricSimulator().restore(snap)
+        cont = resumed.run(source, quanta=400, warmup_quanta=0)
+        assert_stats_identical(whole, cont)
+
+    def test_snapshot_still_refuses_mid_window(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(
+                    cycle=0, kind="stall", target="port:0", duration=10**9
+                ),
+            )
+        )
+        sim = FabricSimulator()
+        sim.install_faults(plan)
+        sim.run(saturated_permutation(64, shift=1), quanta=5, warmup_quanta=0)
+        with pytest.raises(ValueError, match="pending"):
+            sim.snapshot()
+
+    def test_snapshot_refuses_dead_port_forever(self):
+        # port_down permanently remaps routing; that is never quiescent.
+        plan = FaultPlan(
+            events=(FaultEvent(cycle=0, kind="port_down", target="port:2"),)
+        )
+        sim = FabricSimulator()
+        sim.install_faults(plan)
+        sim.run(saturated_permutation(64, shift=1), quanta=50, warmup_quanta=0)
+        with pytest.raises(ValueError):
+            sim.snapshot()
+
     def test_restore_rejects_wrong_port_count(self):
         snap = FabricSimulator(ring=RingGeometry(8)).snapshot()
         with pytest.raises(ValueError):
