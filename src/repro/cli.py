@@ -340,6 +340,55 @@ def main(argv=None) -> int:
         help="diff this run's stage latencies against a prior --stats-out "
         "file and flag the biggest mover",
     )
+    trace.add_argument(
+        "--engine",
+        default=None,
+        choices=("router", "fabric", "space", "wordlevel"),
+        help="override the spec's engine fidelity",
+    )
+    trace.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="P",
+        help="space-engine worker count (P>1 merges per-worker telemetry)",
+    )
+    top = sub.add_parser(
+        "top",
+        help="live telemetry view: per-port/per-class/per-worker throughput,"
+        " queue depth, and journey-latency tails while a run executes",
+    )
+    top.add_argument(
+        "experiment",
+        nargs="?",
+        default="fig7_1_peak",
+        help="traceable experiment (see repro.telemetry.traced.SPECS)",
+    )
+    top.add_argument(
+        "--engine",
+        default=None,
+        choices=("router", "fabric", "space", "wordlevel"),
+        help="override the spec's engine fidelity",
+    )
+    top.add_argument(
+        "--partitions", type=int, default=None, metavar="P",
+        help="space-engine worker count (adds per-worker rows)",
+    )
+    top.add_argument("--quick", action="store_true", help="CI smoke budget")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="refresh period for the live table",
+    )
+    top.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N refreshes (0 = until the run ends)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="run to completion, render one final table, exit (no ANSI)",
+    )
     replay = sub.add_parser(
         "replay",
         help="replay a recorded flow trace (.csv/.jsonl) through the "
@@ -489,6 +538,10 @@ def main(argv=None) -> int:
         return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        from repro.telemetry import top as top_mod
+
+        return top_mod.main(args)
     if args.command == "replay":
         from repro.traffic import replay as replay_mod
 

@@ -57,6 +57,11 @@ class _HolFragment:
     is_last: bool
     packet_words: int  #: total words of the parent packet
     corrupt: bool = False  #: fault-injected; dropped by egress verification
+    #: Journey key shared by every fragment of the packet; ``None`` when
+    #: telemetry is off or the fragment was restored from a snapshot
+    #: (journeys do not survive snapshot/restore -- a documented
+    #: limitation of time-sliced sharding).
+    tag: Optional[int] = None
 
 
 class _FabricFaultState:
@@ -340,6 +345,7 @@ class FabricSimulator:
         #: Quanta skipped by steady-state fast-forward (cumulative).
         self.ff_quanta = 0
         self._gauge_registry = None  # registry the gauges were installed in
+        self._journey_seq = 0  # next journey tag (telemetry only)
 
     # ------------------------------------------------------------------
     def install_faults(self, plan, metrics=None) -> Optional[_FabricFaultState]:
@@ -431,7 +437,7 @@ class FabricSimulator:
             ),
         )
 
-    def _refill(self, port: int, source: PortSource) -> None:
+    def _refill(self, port: int, source: PortSource, tel=None) -> None:
         if self._queues[port]:
             return
         pkt = source(port)
@@ -440,18 +446,32 @@ class FabricSimulator:
         dest, words = pkt
         if words < 1:
             raise ValueError("packet must have at least one word")
+        tag = None
+        if tel is not None:
+            tag = self._journey_seq
+            self._journey_seq += 1
+            jt = tel.journeys
+            jt.arrive(tag, port, self.clock)
+            jt.lookup(
+                tag, dest, words * (self.costs.word_bits // 8), self.clock
+            )
         if self.faults is not None:
             self.faults.metrics.offered_words += words
             dest = self.faults.map_dest(dest)
             if dest is None:  # every port is dead
                 self.faults.metrics.record_drop("dead_port")
+                if tel is not None:
+                    tel.journeys.drop(tag, "dead_port", self.clock)
                 return
+        if tel is not None:
+            tel.journeys.enqueue(tag, self.clock)
         remaining = words
         while remaining > 0:
             q = min(remaining, self.max_quantum_words)
             remaining -= q
             self._queues[port].append(
-                _HolFragment(dest=dest, words=q, is_last=remaining == 0, packet_words=words)
+                _HolFragment(dest=dest, words=q, is_last=remaining == 0,
+                             packet_words=words, tag=tag)
             )
 
     def run(
@@ -563,13 +583,14 @@ class FabricSimulator:
     def _step(self, source: PortSource, stats: Optional[FabricStats]) -> None:
         n = self.ring.n
         faults = self.faults
+        tel = _telemetry.RECORDER
         if faults is not None:
             # Refill before applying events: at saturation every queue is
             # re-armed at each boundary, so a corruption event aimed at a
             # busy input actually finds a word to hit.
             for port in range(n):
                 if faults.degraded.alive(port):
-                    self._refill(port, source)
+                    self._refill(port, source, tel)
             faults.advance_to(self.clock, self._queues)
             if faults.in_recovery():
                 # Token lost: one idle quantum of the regeneration
@@ -594,7 +615,7 @@ class FabricSimulator:
             )
         else:
             for port in range(n):
-                self._refill(port, source)
+                self._refill(port, source, tel)
             requests = tuple(
                 self._queues[p][0].dest if self._queues[p] else None for p in range(n)
             )
@@ -608,7 +629,6 @@ class FabricSimulator:
             self.token.advance()
             return
         alloc = self.allocator.allocate(requests, self.token.master)
-        tel = _telemetry.RECORDER
         if tel is not None:
             tel.events.emit(
                 self.clock, EV_XBAR_CONFIG, "fabric",
@@ -638,6 +658,8 @@ class FabricSimulator:
                 # Egress verification catches the broken checksum; the
                 # words crossed the fabric but never reach the line.
                 faults.metrics.record_drop("corrupt")
+                if tel is not None and frag.tag is not None:
+                    tel.journeys.drop(frag.tag, "corrupt", self.clock)
                 continue
             if faults is not None:
                 faults.metrics.delivered_words += frag.words
@@ -647,6 +669,10 @@ class FabricSimulator:
                 if frag.is_last:
                     stats.delivered_packets += 1
                     stats.per_port_packets[grant.src] += 1
+            if tel is not None and frag.tag is not None:
+                tel.journeys.hop(frag.tag, self.clock)
+                if frag.is_last:
+                    tel.journeys.depart(frag.tag, self.clock)
         self.token.advance()
 
 

@@ -35,7 +35,16 @@ arithmetic -- and is property-tested across partition counts in
 ``tests/test_space_shard.py``.
 
 Fragments are plain tuples ``(dest, words, is_last)`` so boundary
-batches pickle cheaply over multiprocessing pipes.
+batches pickle cheaply over multiprocessing pipes.  Under an active
+telemetry recorder a fourth element rides along -- a globally unique
+journey tag minted at external admission (``admission_seq * num_ports +
+port``, identical regardless of partitioning) -- so packet journeys
+survive partition crossings: each partition records the marks it
+witnesses into its local :class:`~repro.telemetry.journey.JourneyTracker`
+(shared-key mode) and the coordinator folds the partial entries.  The
+step code only ever indexes ``frag[0..2]``, so the extra element cannot
+change simulation behavior, and with telemetry off fragments stay
+3-tuples.
 """
 
 from __future__ import annotations
@@ -49,8 +58,10 @@ from repro.core.allocator import Allocator
 from repro.core.phases import DEFAULT_TIMING, PhaseTiming, idle_quantum_cycles
 from repro.core.ring import RingGeometry
 from repro.core.token import RotatingToken
+from repro.telemetry import runtime as _telemetry
 
-#: A fragment crossing the space fabric: (global dest port, words, is_last).
+#: A fragment crossing the space fabric: (global dest port, words, is_last)
+#: plus an optional trailing journey tag when telemetry is recording.
 SpaceFrag = Tuple[int, int, bool]
 
 
@@ -325,6 +336,16 @@ class PartitionSim:
         )
         self.outgoing: List[Tuple[int, int, SpaceFrag]] = []
         self.stats = PartStats(num_ports=topo.num_ports)
+        #: Captured at construction like the other engines; shared-key
+        #: journey mode because a journey's marks span partitions.
+        self._tel = _telemetry.RECORDER
+        if self._tel is not None:
+            self._tel.journeys.share_keys()
+        #: Per-external-port admission counter: the journey tag is
+        #: ``seq * num_ports + port``, deterministic and identical for
+        #: any partitioning (each port is admitted by exactly one
+        #: partition, in the same order as the serial reference).
+        self._adm_seq: Dict[int, int] = {}
 
     # -- boundary protocol ---------------------------------------------
     def inject(self, cid: int, send_quantum: int, frag: SpaceFrag) -> None:
@@ -354,6 +375,7 @@ class PartitionSim:
         ext_out = topo.ext_out
         mqw = self.max_quantum_words
         stats = self.stats
+        tel = self._tel
         for q in range(q_start, q_start + count):
             measuring = q >= warmup
             # 1. Channel deliveries due this quantum, in channel order
@@ -383,6 +405,22 @@ class PartitionSim:
                 if words < 1:
                     raise ValueError("packet must have at least one word")
                 out_leg = route(nid, dest)
+                if tel is not None:
+                    seq = self._adm_seq.get(g, 0)
+                    self._adm_seq[g] = seq + 1
+                    tag = seq * topo.num_ports + g
+                    jt = tel.journeys
+                    jt.arrive(tag, g, q)
+                    jt.lookup(
+                        tag, dest, words * (self.costs.word_bits // 8), q
+                    )
+                    jt.enqueue(tag, q)
+                    remaining = words
+                    while remaining > 0:
+                        w = min(remaining, mqw)
+                        remaining -= w
+                        queue.append(((dest, w, remaining == 0, tag), out_leg))
+                    continue
                 remaining = words
                 while remaining > 0:
                     w = min(remaining, mqw)
@@ -398,6 +436,8 @@ class PartitionSim:
                     body = chip_body
                 blocked += chip_blocked
                 for leg, frag in moved:
+                    if tel is not None and len(frag) > 3:
+                        tel.journeys.hop(frag[3], q)
                     port = ext_out.get((nid, leg))
                     if port is not None:
                         if measuring:
@@ -406,6 +446,8 @@ class PartitionSim:
                             if frag[2]:
                                 stats.delivered_packets += 1
                                 stats.per_port_packets[port] += 1
+                        if tel is not None and len(frag) > 3 and frag[2]:
+                            tel.journeys.depart(frag[3], q)
                         continue
                     ch = self._channel_of[(nid, leg)]
                     if self._is_boundary[ch.cid]:

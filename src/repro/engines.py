@@ -198,6 +198,21 @@ class Engine(Protocol):
         ...
 
 
+def _install_port_classes(workload: "WorkloadSpec", ports: int) -> None:
+    """Thread ``TrafficSpec.classes`` into an active telemetry recorder
+    so completed journeys also bucket under their traffic class."""
+    from repro.telemetry import runtime as _telemetry
+
+    tel = _telemetry.RECORDER
+    if tel is None:
+        return
+    from repro.traffic.spec import resolve_traffic
+
+    spec = resolve_traffic(workload.effective_traffic())
+    if spec is not None and spec.classes:
+        tel.journeys.set_port_classes(spec.port_class_labels(ports))
+
+
 class _BaseEngine:
     fidelity = "?"
 
@@ -255,6 +270,7 @@ class FabricEngine(_BaseEngine):
             fast_forward=self.config.fast_forward,
         )
         faults = sim.install_faults(workload.fault_plan)
+        _install_port_classes(workload, self.config.ports)
         warmup = (
             workload.warmup_quanta
             if workload.warmup_quanta is not None
@@ -312,6 +328,10 @@ class SpaceEngine(_BaseEngine):
     def __init__(self, config: Optional[SimConfig] = None):
         super().__init__(config)
         self.pool = None  #: optional warm SpaceWorkerPool
+        #: Optional ``(part_id, state)`` callback receiving live worker
+        #: telemetry snaps during distributed runs (``repro top`` wires
+        #: its collector here).
+        self.on_snapshot = None
 
     def _spec(self, workload: WorkloadSpec):
         import math
@@ -351,7 +371,9 @@ class SpaceEngine(_BaseEngine):
                 "run fault plans at fabric fidelity"
             )
         spec = self._spec(workload)
-        stats, info = run_space(spec, pool=self.pool)
+        _install_port_classes(workload, self.config.ports)
+        stats, info = run_space(spec, pool=self.pool,
+                                on_snapshot=self.on_snapshot)
         return RunResult(
             fidelity=self.fidelity,
             cycles=stats.cycles,
@@ -384,6 +406,7 @@ class RouterEngine(_BaseEngine):
 
         router = RawRouter.from_config(self.config, warmup_cycles=self.warmup_cycles)
         router.install_faults(workload.fault_plan)
+        _install_port_classes(workload, self.config.ports)
         spec = workload.effective_traffic()
         traffic, factory, offered_load = router_traffic(spec, self.config)
         target = workload.packets if workload.packets is not None else workload.quanta
@@ -454,6 +477,7 @@ class WordLevelEngine(_BaseEngine):
         if self.config.ports != 4:
             raise ValueError("the word-level model is fixed at 4 ports")
         costs = self.config.cost_model()
+        _install_port_classes(workload, self.config.ports)
         source = wordlevel_source(workload.effective_traffic(), self.config)
         router = WordLevelRouter(source, costs=costs, faults=workload.fault_plan)
         res = router.run(

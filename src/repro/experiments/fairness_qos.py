@@ -54,9 +54,14 @@ def run_qos(
     # Plain token: equal shares of the contended output.
     sim_plain = FabricSimulator(ring=ring, token=RotatingToken(ring.n))
     plain = sim_plain.run(lambda port: (0, words), quanta=quanta)
-    # Weighted token.
+    # Weighted token, recorded so the journey tracker buckets latency by
+    # weight class (ports labeled by their token weight).
+    from repro.telemetry import runtime as _telemetry
+
     sim_w = FabricSimulator(ring=ring, token=WeightedToken(list(weights)))
-    weighted = sim_w.run(lambda port: (0, words), quanta=quanta)
+    with _telemetry.capture() as tel:
+        tel.journeys.set_port_classes(tuple(f"w{w}" for w in weights))
+        weighted = sim_w.run(lambda port: (0, words), quanta=quanta)
 
     total_plain = sum(plain.per_port_words)
     total_w = sum(weighted.per_port_words)
@@ -69,6 +74,13 @@ def run_qos(
         min(weights) / sum(weights),
     )
     result.add("weighted_jains", jains_index(weighted.per_port_words))
+    # Per-class journey latency tails: the weighted class should see a
+    # shorter queueing tail on the contended output than the weight-1
+    # classes (the QoS story told in latency, not just bandwidth share).
+    for label in tel.journeys.dim_labels("class"):
+        h = tel.journeys.dim_hist[("class", label)]
+        result.add(f"journey_p50_{label}", h.percentile(50))
+        result.add(f"journey_p99_{label}", h.percentile(99))
     result.notes = (
         "the thesis: QoS 'can be done simply by allowing different ports "
         "a weighted amount of differing time with the token' (section 5.4)."

@@ -218,13 +218,46 @@ def _pilot_checkpoints(
 # ---------------------------------------------------------------------------
 # Stage 2: the worker entry point (importable for multiprocessing).
 # ---------------------------------------------------------------------------
-def _run_slice(payload) -> FabricStats:
-    spec, snapshot, source_state, count = payload
-    sim = build_sim(spec, cached=True).restore(snapshot)
-    source = make_source(spec)
-    if source_state is not None:
-        source.restore(source_state)
-    return sim.run(source, quanta=count, warmup_quanta=0)
+def _run_slice(payload):
+    """Re-simulate one slice with the full step loop.
+
+    ``payload`` is ``(spec, snapshot, source_state, count)``, returning
+    plain :class:`FabricStats` -- plus an optional fifth ``tel_cfg``
+    element (:meth:`Telemetry.config` plus ``slice``/``port_classes``)
+    that installs a slice-local telemetry recorder for the duration and
+    switches the return to ``(stats, state)``.  The recorder global is
+    always reassigned (and restored) here: pool workers inherit the
+    coordinator's recorder through fork, and a slice must record into
+    its own or into nothing.
+    """
+    spec, snapshot, source_state, count = payload[:4]
+    tel_cfg = payload[4] if len(payload) > 4 else None
+    prev = _telemetry.RECORDER
+    tel = None
+    if tel_cfg is not None:
+        tel = _telemetry.Telemetry(
+            capacity=tel_cfg.get("capacity", 65536),
+            snapshot_interval=tel_cfg.get("snapshot_interval", 0),
+            detail_limit=tel_cfg.get("detail_limit", 64),
+        )
+        if tel_cfg.get("port_classes"):
+            tel.journeys.set_port_classes(tel_cfg["port_classes"])
+    _telemetry.RECORDER = tel
+    try:
+        sim = build_sim(spec, cached=True).restore(snapshot)
+        source = make_source(spec)
+        if source_state is not None:
+            source.restore(source_state)
+        stats = sim.run(source, quanta=count, warmup_quanta=0)
+        if tel is None:
+            return stats
+        tel.registry.snapshot(sim.clock)
+        sl = tel_cfg.get("slice", 0)
+        return stats, tel.to_state(
+            worker=sl, meta={"slice": sl, "quanta": count}
+        )
+    finally:
+        _telemetry.RECORDER = prev
 
 
 # ---------------------------------------------------------------------------
@@ -249,15 +282,18 @@ def run_sharded(
     :func:`run_serial`).
 
     ``workers`` defaults to ``min(shards, cpu_count)``; with one worker
-    the slices run in-process (same protocol, no pool).  Refuses to run
-    under an active telemetry recorder: the sliced timeline would emit a
-    permuted event stream, and the step loop is the observable path.
+    the slices run in-process (same protocol, no pool).  An active
+    telemetry recorder is honored through the distributed plane: each
+    slice records into its own local recorder, the shipped states fold
+    back into the coordinator's in slice order, and the pilot runs with
+    telemetry disabled (its stripped stepper re-walks quanta the slices
+    will observe, so letting it count would double-report).  Journeys do
+    not survive the snapshot/restore seam: fragments already in flight
+    at a slice boundary carry no journey tag, so only packets admitted
+    *within* a slice are tracked -- the boundary remainder shows up in
+    ``in_flight``, never as wrong latencies.
     """
-    if _telemetry.RECORDER is not None:
-        raise ValueError(
-            "sharded runs require telemetry off (the step loop is the "
-            "observable, bit-identical path)"
-        )
+    tel = _telemetry.RECORDER
     shards = max(1, min(spec.shards, spec.quanta))
     if workers is None:
         workers = min(shards, os.cpu_count() or 1)
@@ -268,14 +304,26 @@ def run_sharded(
     for length in slice_lengths:
         boundaries.append(start)
         start += length
-    pilot_sim = build_sim(spec, cached=True)
-    pilot_source = make_source(spec)
-    checkpoints = _pilot_checkpoints(pilot_sim, pilot_source, boundaries)
-    payloads = [
-        (spec, *checkpoints[b], length)
-        for b, length in zip(boundaries, slice_lengths)
-        if length > 0
-    ]
+    _telemetry.RECORDER = None
+    try:
+        pilot_sim = build_sim(spec, cached=True)
+        pilot_source = make_source(spec)
+        checkpoints = _pilot_checkpoints(pilot_sim, pilot_source, boundaries)
+    finally:
+        _telemetry.RECORDER = tel
+    tel_cfg = None
+    if tel is not None:
+        tel_cfg = dict(tel.config())
+        if tel.journeys.port_classes:
+            tel_cfg["port_classes"] = list(tel.journeys.port_classes)
+    payloads = []
+    for i, (b, length) in enumerate(zip(boundaries, slice_lengths)):
+        if length <= 0:
+            continue
+        payload = (spec, *checkpoints[b], length)
+        if tel_cfg is not None:
+            payload += (dict(tel_cfg, slice=i),)
+        payloads.append(payload)
     if workers > 1 and len(payloads) > 1:
         import multiprocessing as mp
 
@@ -284,6 +332,11 @@ def run_sharded(
     else:
         workers = 1
         parts = [_run_slice(p) for p in payloads]
+    if tel is not None:
+        states = [p[1] for p in parts]
+        parts = [p[0] for p in parts]
+        for state in states:
+            tel.merge_state(state)
     info = ShardedRunInfo(
         shards=shards,
         workers=workers,

@@ -682,6 +682,30 @@ class ManyWorldsResult:
         }
 
 
+def _world_under_telemetry(config: SimConfig, world: int, run_fn):
+    """Run one scalar world; with an outer recorder active, record it
+    into a fresh world-local recorder and fold the state back in tagged
+    ``worker=world`` -- K worlds' telemetry merges exactly like K
+    distributed workers' (the many-worlds half of the distributed
+    telemetry plane)."""
+    from repro.telemetry import runtime as _telemetry
+
+    outer = _telemetry.RECORDER
+    if outer is None:
+        return run_fn()
+    with _telemetry.capture(**outer.config()) as tel:
+        if outer.journeys.port_classes:
+            tel.journeys.set_port_classes(outer.journeys.port_classes)
+        result = run_fn()
+    outer.merge_state(
+        tel.to_state(
+            worker=world,
+            meta={"world": world, "seed": world_seed(config.seed, world)},
+        )
+    )
+    return result
+
+
 def run_worlds(
     config: SimConfig,
     workload: WorkloadSpec,
@@ -694,7 +718,10 @@ def run_worlds(
     ``force_scalar``) falls back -- loudly, via a ``UserWarning`` naming
     the reason -- to ``n_worlds`` scalar runs with the same derived
     seeds, so callers always get the same :class:`ManyWorldsResult`
-    shape and the same world seeds either way.
+    shape and the same world seeds either way.  An active telemetry
+    recorder is one such reason (the uint lanes have no event stream);
+    each fallback world then records into a world-local recorder whose
+    state folds back into the active one tagged ``worker=world``.
     """
     if n_worlds < 1:
         raise ValueError("need at least one world")
@@ -714,7 +741,9 @@ def run_worlds(
             )
         if config.fidelity == "fabric":
             stats = [
-                scalar_world_stats(config, workload, w)
+                _world_under_telemetry(
+                    config, w, lambda: scalar_world_stats(config, workload, w)
+                )
                 for w in range(n_worlds)
             ]
         else:
@@ -723,7 +752,11 @@ def run_worlds(
             from repro.engines import run_config
 
             stats = [
-                run_config(config.replace(seed=s), workload) for s in seeds
+                _world_under_telemetry(
+                    config, w,
+                    lambda: run_config(config.replace(seed=s), workload),
+                )
+                for w, s in enumerate(seeds)
             ]
     elapsed = time.perf_counter() - start
     return ManyWorldsResult(

@@ -38,7 +38,6 @@ window blocks only on the specific peers feeding it.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -196,19 +195,70 @@ def _simulate_partition(
     blocks: List[List[int]],
     recv_fns: Dict[int, Any],
     send_fns: Dict[int, Any],
-) -> Tuple[Dict[str, Any], int, float, int]:
+    tel_cfg: Optional[Dict[str, Any]] = None,
+    snap_fn=None,
+) -> Tuple:
     """Run one partition's token-window rounds.
 
     ``recv_fns[peer]()`` blocks until that peer's next batch arrives;
     ``send_fns[peer](batch)`` ships one.  Returns ``(stats payload,
-    windows, pipe-stall seconds, boundary flits sent)``.  The same
-    function drives both the multiprocessing workers (pipe ``recv`` /
-    ``send``) and the in-process fallback used by tests.
+    windows, pipe-stall seconds, boundary flits sent)`` -- plus the
+    worker-local telemetry state when ``tel_cfg`` asked for recording.
+    The same function drives both the multiprocessing workers (pipe
+    ``recv`` / ``send``) and the in-process fallback used by tests.
+
+    ``tel_cfg`` (from :meth:`Telemetry.config` plus ``port_classes``)
+    installs a fresh *worker-local* recorder for the duration: journeys
+    use shared-key mode so partial cross-partition entries fold on the
+    coordinator, and per-worker gauges/snapshots describe this
+    partition.  ``snap_fn(state)``, when given, streams a full
+    point-in-time state every few rounds (each snap *replaces* the
+    worker's previous one -- consumers keep the latest per worker).
     """
     topo = spec.topology()
     owner = topo.node_owner(blocks)
+    prev_recorder = _telemetry.RECORDER
+    tel = None
+    if tel_cfg is not None:
+        tel = _telemetry.Telemetry(
+            capacity=tel_cfg.get("capacity", 65536),
+            snapshot_interval=tel_cfg.get("snapshot_interval", 0),
+            detail_limit=tel_cfg.get("detail_limit", 64),
+        )
+        tel.journeys.share_keys()
+        if tel_cfg.get("port_classes"):
+            tel.journeys.set_port_classes(tel_cfg["port_classes"])
+        _telemetry.RECORDER = tel
+    try:
+        return _run_partition_rounds(
+            spec, part_id, blocks, recv_fns, send_fns, topo, owner,
+            tel, snap_fn,
+        )
+    finally:
+        _telemetry.RECORDER = prev_recorder
+
+
+def _run_partition_rounds(
+    spec: SpaceSpec,
+    part_id: int,
+    blocks: List[List[int]],
+    recv_fns: Dict[int, Any],
+    send_fns: Dict[int, Any],
+    topo: SpaceTopology,
+    owner: Dict[int, int],
+    tel,
+    snap_fn,
+) -> Tuple:
     sim = build_partition(spec, topo, blocks[part_id], cached=True)
     source = make_space_source(spec)
+    if tel is not None:
+        reg = tel.registry
+        reg.gauge("space.delivered_words",
+                  lambda: sim.stats.delivered_words)
+        reg.gauge("space.delivered_packets",
+                  lambda: sim.stats.delivered_packets)
+        reg.gauge("space.blocked_events",
+                  lambda: sim.stats.blocked_events)
     window = min(topo.window(blocks), spec.warmup_quanta + spec.quanta)
     in_peers = sorted(
         {
@@ -226,6 +276,9 @@ def _simulate_partition(
     )
     total = spec.warmup_quanta + spec.quanta
     rounds = -(-total // window)
+    # Stream at most ~16 live snaps per run so snap traffic stays small
+    # relative to the boundary batches.
+    snap_every = max(1, rounds // 16) if snap_fn is not None else 0
     stall = 0.0
     flits_sent = 0
     q = 0
@@ -243,6 +296,11 @@ def _simulate_partition(
         count = min(window, total - q)
         sim.advance(source, q, count, spec.warmup_quanta)
         q += count
+        if tel is not None:
+            tel.registry.maybe_snapshot(q)
+        if snap_every and (r + 1) % snap_every == 0 and r < rounds - 1:
+            snap_fn(tel.to_state(worker=part_id,
+                                 meta={"partition": part_id, "round": r + 1}))
         if r < rounds - 1:
             # Ship this round's boundary sends, one batch per out-peer,
             # empty batches included (the receiver counts arrivals, not
@@ -259,22 +317,40 @@ def _simulate_partition(
                 send_fns[peer](batches[peer])
         else:
             flits_sent += len(sim.drain_outgoing())
-    return part_payload(sim.stats), rounds, stall, flits_sent
+    if tel is None:
+        return part_payload(sim.stats), rounds, stall, flits_sent
+    tel.registry.snapshot(q)
+    state = tel.to_state(worker=part_id,
+                         meta={"partition": part_id, "rounds": rounds,
+                               "chips": len(blocks[part_id])})
+    return part_payload(sim.stats), rounds, stall, flits_sent, state
 
 
 def _space_worker(part_id, cmd_conn, recv_conns, send_conns):
     """Persistent worker loop: block on the command pipe, run one
-    partition per ``("run", spec, blocks)`` message, exit on ``None``."""
+    partition per ``("run", spec, blocks, tel_cfg)`` message, exit on
+    ``None``.  Live telemetry snaps stream back over the same command
+    pipe as ``("snap", part_id, state)`` messages ahead of the terminal
+    ``("ok", result)`` / ``("err", msg)``."""
+    # The fork start method hands children the parent's recorder; each
+    # run installs its own local one (or none) via tel_cfg instead.
+    _telemetry.RECORDER = None
     recv_fns = {peer: conn.recv for peer, conn in recv_conns.items()}
     send_fns = {peer: conn.send for peer, conn in send_conns.items()}
     while True:
         msg = cmd_conn.recv()
         if msg is None:
             return
-        _tag, spec, blocks = msg
+        _tag, spec, blocks, tel_cfg = msg
         try:
             result = _simulate_partition(
-                spec, part_id, blocks, recv_fns, send_fns
+                spec, part_id, blocks, recv_fns, send_fns,
+                tel_cfg=tel_cfg,
+                snap_fn=(
+                    (lambda state: cmd_conn.send(("snap", part_id, state)))
+                    if tel_cfg is not None and tel_cfg.get("stream_snaps")
+                    else None
+                ),
             )
             cmd_conn.send(("ok", result))
         except Exception as exc:  # surfaced in the parent, not swallowed
@@ -337,7 +413,23 @@ class SpaceWorkerPool:
         self.runs = 0
 
     # ------------------------------------------------------------------
-    def run(self, spec: SpaceSpec) -> Tuple[FabricStats, SpaceRunInfo]:
+    def run(
+        self,
+        spec: SpaceSpec,
+        tel_cfg: Optional[Dict[str, Any]] = None,
+        on_snapshot=None,
+    ) -> Tuple[FabricStats, SpaceRunInfo]:
+        """Run ``spec`` across the pool.
+
+        ``tel_cfg`` (see :func:`_simulate_partition`) makes every worker
+        record into a local telemetry recorder; the shipped states are
+        folded into the coordinator's active recorder in partition
+        order.  ``on_snapshot(part_id, state)`` receives the live
+        mid-run snaps (implies streaming); each snap replaces the
+        worker's previous one.
+        """
+        from multiprocessing.connection import wait as _conn_wait
+
         if spec.partitions != self.partitions:
             raise ValueError(
                 f"pool has {self.partitions} workers; spec wants "
@@ -350,23 +442,43 @@ class SpaceWorkerPool:
                 f"{self.partitions} partitions over {topo.num_nodes} chips "
                 "leaves empty workers; lower --partitions"
             )
+        if tel_cfg is not None and on_snapshot is not None:
+            tel_cfg = dict(tel_cfg, stream_snaps=True)
         for conn in self._cmd_parent:
-            conn.send(("run", spec, blocks))
-        payloads, rounds_seen, stalls, flits = [], [], [], []
+            conn.send(("run", spec, blocks, tel_cfg))
+        results: Dict[int, Tuple] = {}
         errors = []
-        for p, conn in enumerate(self._cmd_parent):
-            status, result = conn.recv()
-            if status != "ok":
-                errors.append(f"partition {p}: {result}")
-                continue
-            payload, rounds, stall, sent = result
-            payloads.append(payload)
-            rounds_seen.append(rounds)
-            stalls.append(stall)
-            flits.append(sent)
+        part_of = {id(conn): p for p, conn in enumerate(self._cmd_parent)}
+        pending = list(self._cmd_parent)
+        while pending:
+            for conn in _conn_wait(pending):
+                p = part_of[id(conn)]
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    errors.append(f"partition {p}: worker died")
+                    pending.remove(conn)
+                    continue
+                if msg[0] == "snap":
+                    if on_snapshot is not None:
+                        on_snapshot(msg[1], msg[2])
+                    continue
+                pending.remove(conn)
+                if msg[0] != "ok":
+                    errors.append(f"partition {p}: {msg[1]}")
+                else:
+                    results[p] = msg[1]
         if errors:
             raise RuntimeError("space workers failed: " + "; ".join(errors))
         self.runs += 1
+        ordered = [results[p] for p in range(self.partitions)]
+        payloads = [r[0] for r in ordered]
+        rounds_seen = [r[1] for r in ordered]
+        stalls = [r[2] for r in ordered]
+        flits = [r[3] for r in ordered]
+        if tel_cfg is not None and _telemetry.RECORDER is not None:
+            for r in ordered:
+                _telemetry.RECORDER.merge_state(r[4])
         stats = merge_part_stats(
             [payload_to_stats(p) for p in payloads], topo.num_ports, spec.costs
         )
@@ -414,31 +526,28 @@ class SpaceWorkerPool:
 # The driver.
 # ---------------------------------------------------------------------------
 def run_space(
-    spec: SpaceSpec, pool: Optional[SpaceWorkerPool] = None
+    spec: SpaceSpec,
+    pool: Optional[SpaceWorkerPool] = None,
+    on_snapshot=None,
 ) -> Tuple[FabricStats, SpaceRunInfo]:
     """Run ``spec`` space-partitioned; bit-identical to
     :func:`run_space_serial`.
 
-    With ``partitions == 1`` (or an active telemetry recorder, which
-    needs the single observable event stream) the run stays in-process
-    -- the fallback is *loud* (a :class:`RuntimeWarning` naming the
-    reason) so a user asking for P workers never silently measures one.
-    A supplied warm ``pool`` is used as-is; otherwise a throwaway pool
-    is created and torn down around the run.
+    An active telemetry recorder is honored on *both* paths: each worker
+    records into a local recorder whose state ships back over the
+    command pipe and folds into the coordinator's, so a distributed run
+    under telemetry is indistinguishable from a single-process one
+    (journeys use shared-key tags, so even packets crossing partitions
+    stitch back together).  Only ``partitions == 1`` stays in-process --
+    silently, because one partition *is* a single-process run.
+    ``on_snapshot(part_id, state)`` streams live mid-run worker states
+    (distributed runs only).  A supplied warm ``pool`` is used as-is;
+    otherwise a throwaway pool is created and torn down around the run.
     """
-    reason = ""
+    tel = _telemetry.RECORDER
     if spec.partitions == 1:
-        reason = "partitions=1"
-    elif _telemetry.RECORDER is not None:
-        reason = (
-            "telemetry recorder active: distributed workers cannot emit "
-            "one coherent event stream"
-        )
-        warnings.warn(
-            f"space run falling back to serial ({reason})", RuntimeWarning,
-            stacklevel=2,
-        )
-    if reason:
+        if tel is not None:
+            tel.journeys.share_keys()
         stats = run_space_serial(spec, cached=True)
         topo = spec.topology()
         blocks = topo.partition(1)
@@ -452,32 +561,44 @@ def run_space(
             pipe_stall_s=[0.0],
             boundary_flits=[0],
             serial_fallback=True,
-            fallback_reason=reason,
+            fallback_reason="partitions=1",
         )
+        if tel is not None:
+            tel.journeys.finalize()
         _register_gauges(info)
         return stats, info
+    tel_cfg = None
+    if tel is not None:
+        tel_cfg = dict(tel.config())
+        if tel.journeys.port_classes:
+            tel_cfg["port_classes"] = list(tel.journeys.port_classes)
     owned_pool = pool is None
     if owned_pool:
         pool = SpaceWorkerPool(spec.partitions)
     try:
-        stats, info = pool.run(spec)
+        stats, info = pool.run(spec, tel_cfg=tel_cfg, on_snapshot=on_snapshot)
     finally:
         if owned_pool:
             pool.close()
+    if tel is not None:
+        # Every worker state is folded in; convert the partial
+        # cross-partition journey entries into final histograms.
+        tel.journeys.finalize()
     _register_gauges(info)
     return stats, info
 
 
 def _register_gauges(info: SpaceRunInfo) -> None:
-    """Publish the distributed-run counters to an active recorder (the
-    fallback path is the only one that can run *under* telemetry, but
-    callers may also enable telemetry after a run to inspect gauges)."""
+    """Publish the distributed-run counters to an active recorder.
+    ``pipe_stall_s`` is wall-clock and therefore volatile: it stays out
+    of snapshots and exported JSON, which must be deterministic."""
     tel = _telemetry.RECORDER
     if tel is None:
         return
     reg = tel.registry
     reg.set_gauge("space.windows", sum(info.windows_per_worker))
-    reg.set_gauge("space.pipe_stall_s", round(sum(info.pipe_stall_s), 6))
+    reg.set_gauge("space.pipe_stall_s", round(sum(info.pipe_stall_s), 6),
+                  volatile=True)
     reg.set_gauge("space.boundary_flits", sum(info.boundary_flits))
     reg.set_gauge("space.partitions", info.partitions)
     reg.set_gauge("space.serial_fallback", info.serial_fallback)

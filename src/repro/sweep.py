@@ -133,10 +133,20 @@ def _run_cell(
         # Monte Carlo cell: K seeds through the vectorized many-worlds
         # engine (per-world scalar runs when the cell cannot vectorize --
         # run_worlds warns with the reason).  ``result`` stays the
-        # world-0 run, shaped exactly like a single-run row.
+        # world-0 run, shaped exactly like a single-run row.  Telemetry
+        # forces the scalar path: each world records locally and the
+        # states fold into this cell's recorder (worker = world index).
         from repro.parallel.manyworlds import run_worlds
 
-        mw = run_worlds(config, workload, worlds)
+        summary = None
+        if telemetry:
+            from repro.telemetry import runtime as _telemetry
+
+            with _telemetry.capture() as tel:
+                mw = run_worlds(config, workload, worlds)
+                summary = tel.summary()
+        else:
+            mw = run_worlds(config, workload, worlds)
         row = {
             "cell": cell,
             "seed": config.seed,
@@ -148,6 +158,8 @@ def _run_cell(
         }
         if mw.fallback_reason:
             row["fallback_reason"] = mw.fallback_reason
+        if summary is not None:
+            row["telemetry"] = summary
         return row
     if telemetry:
         # Enabled per worker process: the recorder is process-global, and
@@ -190,15 +202,12 @@ def run_sweep(
     the row.  ``worlds > 1`` runs every cell as a ``worlds``-seed Monte
     Carlo batch through :mod:`repro.parallel.manyworlds`: rows gain an
     ``envelope`` (mean/std/ci95/percentiles per metric) and ``result``
-    becomes the world-0 run.
+    becomes the world-0 run.  Combining both records each world into a
+    world-local recorder and attaches the merged summary (per-world
+    provenance under ``telemetry["workers"]``).
     """
     if worlds < 1:
         raise ValueError("worlds must be >= 1")
-    if worlds > 1 and telemetry:
-        raise ValueError(
-            "telemetry capture is per scalar run; it cannot be combined "
-            "with worlds > 1"
-        )
     cells = expand_grid(grid)
     payloads = [
         (

@@ -50,13 +50,16 @@ N_KINDS = len(KIND_NAMES)
 
 
 class Event(NamedTuple):
-    """One recorded event; ``seq`` is the global emission index."""
+    """One recorded event; ``seq`` is the emission index *within its
+    origin recorder* and ``origin`` identifies that recorder (0: the
+    local/coordinator recorder, ``worker + 1`` for merged worker logs)."""
 
     seq: int
     cycle: int
     kind: int
     subject: str
     data: Any
+    origin: int = 0
 
     @property
     def name(self) -> str:
@@ -66,7 +69,7 @@ class Event(NamedTuple):
 class EventLog:
     """Fixed-capacity ring of events plus total per-kind counts."""
 
-    __slots__ = ("capacity", "_ring", "_emitted", "kind_counts")
+    __slots__ = ("capacity", "_ring", "_emitted", "_extra", "kind_counts")
 
     def __init__(self, capacity: int = 65536):
         if capacity < 1:
@@ -74,6 +77,9 @@ class EventLog:
         self.capacity = capacity
         self._ring: List[Any] = [None] * capacity
         self._emitted = 0
+        #: Events merged in from other recorders but not retained (their
+        #: origins emitted them; the trimmed union dropped them).
+        self._extra = 0
         #: Total events ever emitted per kind (never wraps with the ring).
         self.kind_counts: List[int] = [0] * N_KINDS
 
@@ -88,12 +94,12 @@ class EventLog:
     @property
     def emitted(self) -> int:
         """Total events ever emitted (including overwritten ones)."""
-        return self._emitted
+        return self._emitted + self._extra
 
     @property
     def dropped(self) -> int:
-        """Events overwritten by ring wrap-around."""
-        return max(0, self._emitted - self.capacity)
+        """Events overwritten by ring wrap-around or trimmed at merge."""
+        return self._extra + max(0, self._emitted - self.capacity)
 
     def __len__(self) -> int:
         return min(self._emitted, self.capacity)
@@ -112,3 +118,37 @@ class EventLog:
         return {
             KIND_NAMES[k]: c for k, c in enumerate(self.kind_counts) if c
         }
+
+    # -- distributed merge ----------------------------------------------
+    def to_state(self, origin: int = 0) -> Dict[str, Any]:
+        """Picklable log state; ``origin`` stamps every not-yet-stamped
+        retained event (use ``worker + 1`` so 0 stays "local")."""
+        entries = []
+        for ev in self.events():
+            entries.append(
+                (ev.seq, ev.cycle, ev.kind, ev.subject, ev.data,
+                 ev.origin or origin)
+            )
+        return {
+            "emitted": self.emitted,
+            "kind_counts": list(self.kind_counts),
+            "entries": entries,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Union the retained events, ordered by ``(cycle, origin, seq)``,
+        keeping the newest ``capacity`` of the union.  Trimming early
+        never changes the final retained set (anything trimmed from a
+        sub-union is below ``capacity`` newer events there, hence also in
+        every super-union), so the merge is associative and commutative
+        over distinct-origin states."""
+        total = self.emitted + state["emitted"]
+        for k, c in enumerate(state["kind_counts"]):
+            self.kind_counts[k] += c
+        union = [tuple(ev) for ev in self.events()]
+        union.extend(tuple(e) for e in state["entries"])
+        union.sort(key=lambda e: (e[1], e[5], e[0]))
+        keep = union[-self.capacity:]
+        self._ring = list(keep) + [None] * (self.capacity - len(keep))
+        self._emitted = len(keep)
+        self._extra = total - len(keep)

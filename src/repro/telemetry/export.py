@@ -37,6 +37,9 @@ TRACE_SCHEMA = "repro-chrome-trace/1"
 PID_ROUTER = 1
 TID_FABRIC = 100
 TID_FAULTS = 101
+#: Worker ``w``'s merged telemetry renders as process ``1000 + w`` so
+#: distributed captures show one track group per worker.
+PID_WORKER_BASE = 1000
 
 #: Event kinds rendered as instant marks on the fabric/fault tracks.
 _INSTANT_KINDS = {
@@ -72,6 +75,21 @@ def chrome_trace(tel: Telemetry, title: str = "repro",
         events.append(_meta(PID_ROUTER, p, "thread_name", f"port {p}"))
     events.append(_meta(PID_ROUTER, TID_FABRIC, "thread_name", "fabric"))
     events.append(_meta(PID_ROUTER, TID_FAULTS, "thread_name", "faults/drops"))
+
+    # One extra process track per merged worker recorder; its tagged
+    # snapshots render as counters on that track.
+    snap_workers = {
+        s["worker"] for s in tel.registry.snapshots
+        if s.get("worker") is not None
+    }
+    for w in sorted(set(tel.workers) | snap_workers):
+        meta = tel.workers.get(w, {})
+        label = f"worker {w}"
+        if meta:
+            label += " (" + ", ".join(
+                f"{k}={v}" for k, v in sorted(meta.items())
+            ) + ")"
+        events.append(_meta(PID_WORKER_BASE + w, None, "process_name", label))
 
     body: List[Dict[str, Any]] = []
 
@@ -120,20 +138,25 @@ def chrome_trace(tel: Telemetry, title: str = "repro",
             args["subject"] = ev.subject
         if ev.data is not None:
             args["data"] = ev.data
+        if ev.origin:
+            args["worker"] = ev.origin - 1
         body.append({
             "ph": "i", "cat": "event", "name": KIND_NAMES[ev.kind],
             "pid": PID_ROUTER, "tid": tid, "ts": ev.cycle, "s": "t",
             "args": args,
         })
 
-    # Registry snapshots as counter tracks (numeric values only).
+    # Registry snapshots as counter tracks (numeric values only);
+    # worker-tagged snapshots land on that worker's process track.
     for snap in tel.registry.snapshots:
+        w = snap.get("worker")
+        pid = PID_ROUTER if w is None else PID_WORKER_BASE + w
         for name, value in sorted(snap["values"].items()):
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             body.append({
                 "ph": "C", "cat": "metric", "name": name,
-                "pid": PID_ROUTER, "ts": snap["cycle"],
+                "pid": pid, "ts": snap["cycle"],
                 "args": {"value": value},
             })
 
@@ -151,6 +174,20 @@ def chrome_trace(tel: Telemetry, title: str = "repro",
             },
             "kernel_profile": tel.kernel.to_dict(),
             "metrics": tel.registry.to_dict(),
+            **(
+                {
+                    "dimensions": {
+                        f"{d}:{l}": h.to_dict()
+                        for (d, l), h in sorted(tel.journeys.dim_hist.items())
+                    },
+                    "workers": {
+                        str(w): dict(m)
+                        for w, m in sorted(tel.workers.items())
+                    },
+                }
+                if tel.workers or tel.journeys.dim_hist
+                else {}
+            ),
         },
     }
 
@@ -232,6 +269,28 @@ def render_stage_table(tel: Telemetry) -> str:
         f"journeys: {jt.completed} delivered, {jt.dropped} dropped, "
         f"{jt.in_flight} in flight"
     )
+    return "\n".join(lines)
+
+
+def render_dim_table(tel: Telemetry, dim: str) -> str:
+    """Per-label journey-latency table for one dimension (``"port"`` or
+    ``"class"``); empty string when the dimension has no samples."""
+    rows = [
+        (label, tel.journeys.dim_hist[(dim, label)])
+        for label in tel.journeys.dim_labels(dim)
+    ]
+    if not rows:
+        return ""
+    lines = [
+        f"{dim} journey latency (cycles)",
+        f"{dim:<9}{'count':>8}{'mean':>10}{'p50':>8}{'p99':>8}{'max':>8}",
+    ]
+    for label, h in rows:
+        lines.append(
+            f"{label:<9}{h.count:>8}{h.mean:>10.1f}"
+            f"{h.percentile(50):>8}{h.percentile(99):>8}"
+            f"{(h.max or 0):>8}"
+        )
     return "\n".join(lines)
 
 

@@ -5,15 +5,36 @@ traversal -> egress departure.  The tracker keys in-flight packets by
 ``id(pkt)`` (object identity; packet ids are not globally unique across
 ports) and assigns its own sequential journey ids.  Stage latencies feed
 fixed-size log-bucketed histograms (:class:`~repro.telemetry.registry.
-LogHistogram`) -- never per-packet Python lists at scale -- and the first
-``detail_limit`` completed journeys keep their full mark lists so any of
-them can be drilled into as a :class:`PacketJourney`.
+LogHistogram`) -- never per-packet Python lists at scale -- and a
+deterministic reservoir of ``detail_limit`` completed journeys keeps full
+mark lists so any of them can be drilled into as a
+:class:`PacketJourney`.
+
+Two extensions support the distributed telemetry plane:
+
+* **Label dimensions** -- every completed journey also records its total
+  latency under ``("port", "p<src>")`` and, when a port->class mapping
+  has been installed (:meth:`JourneyTracker.set_port_classes`, threaded
+  from ``TrafficSpec.classes``), under ``("class", <label>)``.
+  Cardinality is bounded at :data:`MAX_DIM_LABELS` labels per dimension;
+  overflow folds into the ``"~other"`` label.
+
+* **Shared-key (deferred) mode** -- the space engine's journeys span
+  partitions: the ingress partition sees the arrival, a different one
+  the departure.  Under :meth:`share_keys`, keys are globally unique
+  tags chosen by the caller, completion is *deferred* (``depart`` parks
+  the entry instead of folding it into histograms), partial entries ship
+  via :meth:`to_state`, fold field-wise in :meth:`merge_state`, and
+  :meth:`finalize` turns the completed set into histograms/details on
+  the coordinator.  The single-process path uses the same deferred
+  machinery, so a P=1 run and a merged P=4 run produce identical tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from heapq import heappush, heapreplace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .registry import LogHistogram
 
@@ -23,12 +44,31 @@ STAGES = ("ingress", "fabric", "egress", "total")
 #: faults never reach egress, so without a cap the live map would leak.
 LIVE_CAP = 8192
 
+#: Cap on distinct labels per journey dimension; beyond it samples fold
+#: into the ``"~other"`` overflow label so cardinality stays bounded.
+MAX_DIM_LABELS = 64
+
+OVERFLOW_LABEL = "~other"
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: the deterministic reservoir's hash."""
+    x &= _MASK64
+    x = ((x ^ (x >> 33)) * 0xFF51AFD7ED558CCD) & _MASK64
+    x = ((x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53) & _MASK64
+    return (x ^ (x >> 33)) & _MASK64
+
 
 class _Live:
-    """Scalar per-packet state while the packet is in flight."""
+    """Scalar per-packet state while the packet is in flight (and, in
+    shared-key mode, after completion until :meth:`~JourneyTracker.
+    finalize` folds it).  Missing marks are -1; ``outcome`` is ``None``
+    until the packet departs or drops."""
 
     __slots__ = ("jid", "src", "dst", "size", "arrive", "lookup",
-                 "enqueue", "hops", "last_hop")
+                 "enqueue", "hops", "last_hop", "depart", "outcome")
 
     def __init__(self, jid: int, src: int, cycle: int):
         self.jid = jid
@@ -40,6 +80,43 @@ class _Live:
         self.enqueue = -1
         self.hops = 0
         self.last_hop = -1
+        self.depart = -1
+        self.outcome: Optional[str] = None
+
+    def pack(self) -> Tuple:
+        return (self.jid, self.src, self.dst, self.size, self.arrive,
+                self.lookup, self.enqueue, self.hops, self.last_hop,
+                self.depart, self.outcome)
+
+    @classmethod
+    def unpack(cls, t: Tuple) -> "_Live":
+        lv = cls(t[0], t[1], t[4])
+        (lv.dst, lv.size, lv.lookup, lv.enqueue, lv.hops,
+         lv.last_hop, lv.depart, lv.outcome) = (
+            t[2], t[3], t[5], t[6], t[7], t[8], t[9], t[10])
+        return lv
+
+    def fold(self, other: "_Live") -> None:
+        """Field-wise fold of another partition's partial view of the
+        same journey.  Each mark is set by exactly one partition, so
+        "take the one that is set" plus sum/max folds is associative and
+        commutative."""
+        if self.arrive < 0 and other.arrive >= 0:
+            self.arrive = other.arrive
+            self.src = other.src
+        if self.dst < 0 and other.dst >= 0:
+            self.dst = other.dst
+            self.size = other.size
+        if self.lookup < 0:
+            self.lookup = other.lookup
+        if self.enqueue < 0:
+            self.enqueue = other.enqueue
+        self.hops += other.hops
+        if other.last_hop > self.last_hop:
+            self.last_hop = other.last_hop
+        if self.outcome is None and other.outcome is not None:
+            self.depart = other.depart
+            self.outcome = other.outcome
 
 
 @dataclass
@@ -96,13 +173,42 @@ class JourneyTracker:
         self._live: Dict[int, _Live] = {}
         self._next_jid = 0
         self.detail_limit = detail_limit
-        self.detailed: List[PacketJourney] = []
+        #: Max-heap of ``(-hash, jid, journey)``: the ``detail_limit``
+        #: completed journeys with the smallest ``_mix64(jid)``.  A
+        #: hash-ranked reservoir instead of "first N" so drill-down
+        #: samples span the whole run (no warm-up bias), stay
+        #: deterministic for a given seed, and merge associatively
+        #: (union + re-truncate) across workers.
+        self._detail_heap: List[Tuple[int, int, PacketJourney]] = []
         self.completed = 0
         self.dropped = 0
         self.evicted = 0
         self.stage_hist: Dict[str, LogHistogram] = {
             s: LogHistogram() for s in STAGES
         }
+        #: ``(dimension, label) -> total-latency histogram``.
+        self.dim_hist: Dict[Tuple[str, str], LogHistogram] = {}
+        self._port_classes: Tuple[str, ...] = ()
+        #: Shared-key mode (see module docstring).
+        self._shared = False
+        #: Completed-but-not-finalized entries in shared-key mode.
+        self._done: Dict[int, _Live] = {}
+        #: In-flight count contributed by merged worker states.
+        self._merged_in_flight = 0
+
+    # -- configuration --------------------------------------------------
+    def set_port_classes(self, labels: Sequence[str]) -> None:
+        """Install the port -> traffic-class mapping (index = port)."""
+        self._port_classes = tuple(labels)
+
+    @property
+    def port_classes(self) -> Tuple[str, ...]:
+        return self._port_classes
+
+    def share_keys(self) -> None:
+        """Switch to shared-key (deferred) mode: keys are caller-chosen
+        globally unique tags and completion folds at :meth:`finalize`."""
+        self._shared = True
 
     # -- lifecycle marks (hot path; all O(1)) ---------------------------
     def arrive(self, key: int, src: int, cycle: int) -> None:
@@ -110,7 +216,8 @@ class JourneyTracker:
             # Evict the oldest entry; its packet will never complete.
             self._live.pop(next(iter(self._live)))
             self.evicted += 1
-        self._live[key] = _Live(self._next_jid, src, cycle)
+        jid = key if self._shared else self._next_jid
+        self._live[key] = _Live(jid, src, cycle)
         self._next_jid += 1
 
     def lookup(self, key: int, dst: int, size: int, cycle: int) -> None:
@@ -127,35 +234,111 @@ class JourneyTracker:
 
     def hop(self, key: int, cycle: int) -> None:
         lv = self._live.get(key)
-        if lv is not None:
-            lv.hops += 1
+        if lv is None:
+            if not self._shared:
+                return
+            # Another partition saw the arrival; track a partial entry.
+            lv = self._live[key] = _Live(key, -1, -1)
+        lv.hops += 1
+        if cycle > lv.last_hop:
             lv.last_hop = cycle
 
     def depart(self, key: int, cycle: int) -> None:
         lv = self._live.pop(key, None)
+        if self._shared:
+            if lv is None:
+                lv = _Live(key, -1, -1)
+            lv.depart = cycle
+            lv.outcome = "delivered"
+            self._done[key] = lv
+            return
         if lv is None:
             return
-        self.completed += 1
-        hist = self.stage_hist
-        if lv.enqueue >= 0:
-            hist["ingress"].record(lv.enqueue - lv.arrive)
-            if lv.last_hop >= 0:
-                hist["fabric"].record(lv.last_hop - lv.enqueue)
-                hist["egress"].record(cycle - lv.last_hop)
-        hist["total"].record(cycle - lv.arrive)
-        if len(self.detailed) < self.detail_limit:
-            self.detailed.append(self._finish(lv, cycle, "delivered"))
+        lv.depart = cycle
+        lv.outcome = "delivered"
+        self._complete(lv)
 
     def drop(self, key: int, cause: str, cycle: int) -> None:
         lv = self._live.pop(key, None)
+        if self._shared:
+            if lv is None:
+                lv = _Live(key, -1, -1)
+            lv.depart = cycle
+            lv.outcome = cause
+            self._done[key] = lv
+            return
         if lv is None:
             return
-        self.dropped += 1
-        if len(self.detailed) < self.detail_limit:
-            self.detailed.append(self._finish(lv, cycle, cause))
+        lv.depart = cycle
+        lv.outcome = cause
+        self._complete(lv)
+
+    # -- completion -----------------------------------------------------
+    def _complete(self, lv: _Live) -> None:
+        """Fold one finished entry into counters/histograms/details."""
+        if lv.outcome == "delivered":
+            self.completed += 1
+            hist = self.stage_hist
+            if lv.enqueue >= 0:
+                hist["ingress"].record(lv.enqueue - lv.arrive)
+                if lv.last_hop >= 0:
+                    hist["fabric"].record(lv.last_hop - lv.enqueue)
+                    hist["egress"].record(lv.depart - lv.last_hop)
+            hist["total"].record(lv.depart - lv.arrive)
+            self._dim_record(lv.src, lv.depart - lv.arrive)
+        else:
+            self.dropped += 1
+        # Only build the drill-down journey if the reservoir will take it.
+        hsh = _mix64(lv.jid)
+        heap = self._detail_heap
+        if self.detail_limit > 0 and (
+            len(heap) < self.detail_limit or -hsh > heap[0][0]
+        ):
+            self._offer_detail(hsh, self._finish(lv))
+
+    def _dim_record(self, src: int, latency: int) -> None:
+        self._dim("port", f"p{src}", latency)
+        classes = self._port_classes
+        if classes and 0 <= src < len(classes):
+            self._dim("class", classes[src], latency)
+
+    def _dim(self, dim: str, label: str, value: int) -> None:
+        key = (dim, label)
+        h = self.dim_hist.get(key)
+        if h is None:
+            if sum(1 for d, _l in self.dim_hist if d == dim) >= MAX_DIM_LABELS:
+                key = (dim, OVERFLOW_LABEL)
+                h = self.dim_hist.get(key)
+            if h is None:
+                h = self.dim_hist[key] = LogHistogram()
+        h.record(value)
+
+    def _offer_detail(self, hsh: int, journey: PacketJourney) -> None:
+        heap = self._detail_heap
+        if self.detail_limit <= 0:
+            return
+        if len(heap) < self.detail_limit:
+            heappush(heap, (-hsh, journey.jid, journey))
+        elif -hsh > heap[0][0]:
+            heapreplace(heap, (-hsh, journey.jid, journey))
+
+    def finalize(self) -> None:
+        """Shared-key mode: fold every completed (merged) entry into
+        counters/histograms/details.  Entries still missing their arrival
+        mark (their partition's state was never merged) count as evicted;
+        unfinished entries stay in flight.  Idempotent."""
+        if not self._done:
+            return
+        for key in sorted(self._done):
+            lv = self._done[key]
+            if lv.arrive < 0:
+                self.evicted += 1
+                continue
+            self._complete(lv)
+        self._done.clear()
 
     # -- views ----------------------------------------------------------
-    def _finish(self, lv: _Live, cycle: int, outcome: str) -> PacketJourney:
+    def _finish(self, lv: _Live) -> PacketJourney:
         marks: List[Tuple[str, int]] = [("arrive", lv.arrive)]
         if lv.lookup >= 0:
             marks.append(("lookup", lv.lookup))
@@ -163,25 +346,37 @@ class JourneyTracker:
             marks.append(("enqueue", lv.enqueue))
         if lv.last_hop >= 0:
             marks.append(("last_hop", lv.last_hop))
-        marks.append(("depart" if outcome == "delivered" else "drop", cycle))
+        outcome = lv.outcome or "delivered"
+        marks.append(
+            ("depart" if outcome == "delivered" else "drop", lv.depart)
+        )
         return PacketJourney(
             jid=lv.jid, src=lv.src, dst=lv.dst, size_bytes=lv.size,
-            arrive=lv.arrive, depart=cycle, outcome=outcome,
+            arrive=lv.arrive, depart=lv.depart, outcome=outcome,
             hops=lv.hops, marks=marks,
         )
 
+    @property
+    def detailed(self) -> List[PacketJourney]:
+        """The reservoir's journeys, ordered by journey id."""
+        return [j for _h, _jid, j in
+                sorted(self._detail_heap, key=lambda t: t[1])]
+
     def journey(self, jid: int) -> Optional[PacketJourney]:
-        for j in self.detailed:
-            if j.jid == jid:
+        for _h, j_jid, j in self._detail_heap:
+            if j_jid == jid:
                 return j
         return None
 
     @property
     def in_flight(self) -> int:
-        return len(self._live)
+        return len(self._live) + len(self._done) + self._merged_in_flight
+
+    def dim_labels(self, dim: str) -> List[str]:
+        return sorted(l for d, l in self.dim_hist if d == dim)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "completed": self.completed,
             "dropped": self.dropped,
             "in_flight": self.in_flight,
@@ -191,3 +386,89 @@ class JourneyTracker:
             },
             "journeys": [j.to_dict() for j in self.detailed],
         }
+        if self.dim_hist:
+            dims: Dict[str, Dict[str, Any]] = {}
+            for (dim, label) in sorted(self.dim_hist):
+                dims.setdefault(dim, {})[label] = (
+                    self.dim_hist[(dim, label)].to_dict()
+                )
+            out["dimensions"] = dims
+        return out
+
+    # -- distributed merge ----------------------------------------------
+    def to_state(self, worker: Optional[int] = None) -> Dict[str, Any]:
+        """Picklable tracker state.  In local mode, detailed journeys
+        ship with worker-namespaced jids (worker jid spaces overlap); in
+        shared-key mode the raw partial entries ship instead so the
+        coordinator can fold cross-partition journeys."""
+        offset = 0 if worker is None else (worker + 1) << 40
+        details = []
+        for _h, _jid, j in sorted(self._detail_heap, key=lambda t: t[1]):
+            d = j.to_dict()
+            d.pop("stages", None)
+            if not self._shared:
+                d["jid"] += offset
+            details.append(d)
+        entries = []
+        if self._shared:
+            for store in (self._live, self._done):
+                entries.extend(store[k].pack() for k in sorted(store))
+        return {
+            "shared": self._shared,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "evicted": self.evicted,
+            "in_flight": (
+                0 if self._shared
+                else len(self._live) + self._merged_in_flight
+            ),
+            "stage_hist": {
+                s: h.to_state() for s, h in self.stage_hist.items()
+            },
+            "dim_hist": [
+                [d, l, h.to_state()] for (d, l), h in
+                sorted(self.dim_hist.items())
+            ],
+            "detailed": details,
+            "entries": entries,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a worker tracker's state in (associative, commutative in
+        worker order over distinct-worker states)."""
+        if state["shared"]:
+            self._shared = True
+        self.completed += state["completed"]
+        self.dropped += state["dropped"]
+        self.evicted += state["evicted"]
+        self._merged_in_flight += state["in_flight"]
+        for s, hs in state["stage_hist"].items():
+            self.stage_hist[s].merge_state(hs)
+        for dim, label, hs in state["dim_hist"]:
+            key = (dim, label)
+            h = self.dim_hist.get(key)
+            if h is None:
+                h = self.dim_hist[key] = LogHistogram()
+            h.merge_state(hs)
+        for d in state["detailed"]:
+            j = PacketJourney(
+                jid=d["jid"], src=d["src"], dst=d["dst"],
+                size_bytes=d["size_bytes"], arrive=d["arrive"],
+                depart=d["depart"], outcome=d["outcome"], hops=d["hops"],
+                marks=[(name, cycle) for name, cycle in d["marks"]],
+            )
+            self._offer_detail(_mix64(j.jid), j)
+        for packed in state["entries"]:
+            incoming = _Live.unpack(packed)
+            key = incoming.jid
+            cur = self._done.pop(key, None)
+            if cur is None:
+                cur = self._live.pop(key, None)
+            if cur is None:
+                cur = incoming
+            else:
+                cur.fold(incoming)
+            if cur.outcome is not None:
+                self._done[key] = cur
+            else:
+                self._live[key] = cur

@@ -47,6 +47,31 @@ class KernelProfile:
             "timeouts": by_name["Timeout"],
         }
 
+    # -- distributed merge ----------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """Picklable profile state for shipping to a coordinator."""
+        return {
+            "cmd_counts": list(self.cmd_counts),
+            "bucket_drains": self.bucket_drains,
+            "bucket_events": self.bucket_events,
+            "bucket_peak": self.bucket_peak,
+            "wheel_peak": self.wheel_peak,
+            "far_spills": self.far_spills,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another profile in: counts sum, peaks take the max
+        (associative, commutative)."""
+        for i, n in enumerate(state["cmd_counts"]):
+            self.cmd_counts[i] += n
+        self.bucket_drains += state["bucket_drains"]
+        self.bucket_events += state["bucket_events"]
+        self.far_spills += state["far_spills"]
+        if state["bucket_peak"] > self.bucket_peak:
+            self.bucket_peak = state["bucket_peak"]
+        if state["wheel_peak"] > self.wheel_peak:
+            self.wheel_peak = state["wheel_peak"]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "commands": {

@@ -6,6 +6,16 @@ existing stat dataclasses (``RouterStats``, ``ResilienceMetrics``) keep
 their public APIs, but register callable gauge views here so every number
 is reachable by one flat name (``fabric.tokens_passed``,
 ``ingress.0.queue_depth``, ``kernel.events_dispatched``).
+
+Every component here is *mergeable*: :meth:`LogHistogram.to_state` /
+:meth:`LogHistogram.merge_state` and the registry-level pair fold
+worker-local recorders into one coordinator view (counters and
+histograms sum, gauges are shipped by value under a ``w{worker}.``
+prefix, snapshots interleave by cycle).  The merge is associative and
+commutative in worker order, mirroring ``FabricStats.add_counters``.
+Gauges registered *volatile* (wall-clock or otherwise nondeterministic)
+are excluded from snapshots, ``to_dict`` and shipped state so exports
+stay bit-deterministic; they remain readable via :meth:`read_gauge`.
 """
 
 from __future__ import annotations
@@ -50,17 +60,27 @@ class LogHistogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> int:
-        """Upper bound of the bucket containing the p-th percentile,
-        clamped to the observed max (so p50 never exceeds max)."""
+        """Linear interpolation within the bucket containing the p-th
+        percentile, clamped into ``[min, max]`` (the previous
+        bucket-upper-bound answer overstated tails by up to 2x)."""
         if not self.count:
             return 0
         target = p / 100.0 * self.count
         seen = 0
         for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if seen + n >= target:
+                lo = 0 if i == 0 else 1 << (i - 1)
+                hi = 0 if i == 0 else (1 << i) - 1
+                frac = max(0.0, min(1.0, (target - seen) / n))
+                value = lo + int((hi - lo) * frac)
+                if self.min is not None and value < self.min:
+                    value = self.min
+                if self.max is not None and value > self.max:
+                    value = self.max
+                return value
             seen += n
-            if seen >= target and n:
-                bound = 0 if i == 0 else (1 << i) - 1
-                return bound if self.max is None else min(bound, self.max)
         return self.max or 0
 
     def nonzero_buckets(self) -> List[Dict[str, int]]:
@@ -83,6 +103,35 @@ class LogHistogram:
             "buckets": self.nonzero_buckets(),
         }
 
+    # -- distributed merge ----------------------------------------------
+    def to_state(self) -> Dict[str, Any]:
+        """Picklable value capturing every accumulated sample."""
+        return {
+            "buckets": [[i, n] for i, n in enumerate(self.buckets) if n],
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's state in (associative, commutative)."""
+        for i, n in state["buckets"]:
+            self.buckets[i] += n
+        self.count += state["count"]
+        self.total += state["total"]
+        smin, smax = state["min"], state["max"]
+        if smin is not None and (self.min is None or smin < self.min):
+            self.min = smin
+        if smax is not None and (self.max is None or smax > self.max):
+            self.max = smax
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "LogHistogram":
+        h = cls()
+        h.merge_state(state)
+        return h
+
 
 class MetricsRegistry:
     """Flat-namespace counters/gauges/histograms + periodic snapshots."""
@@ -91,6 +140,9 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, Callable[[], Any]] = {}
         self._hists: Dict[str, LogHistogram] = {}
+        #: Gauge names whose values are nondeterministic (wall-clock);
+        #: excluded from snapshots, ``to_dict`` and shipped state.
+        self._volatile: set = set()
         #: Cycle interval between snapshots; 0 disables periodic capture.
         self.snapshot_interval = snapshot_interval
         self.snapshots: List[Dict[str, Any]] = []
@@ -104,12 +156,21 @@ class MetricsRegistry:
         return self._counters.get(name, 0)
 
     # -- gauges ---------------------------------------------------------
-    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+    def gauge(self, name: str, fn: Callable[[], Any],
+              volatile: bool = False) -> None:
         """Register a callable view; evaluated lazily at snapshot time."""
         self._gauges[name] = fn
+        if volatile:
+            self._volatile.add(name)
+        else:
+            self._volatile.discard(name)
 
-    def set_gauge(self, name: str, value: Any) -> None:
+    def set_gauge(self, name: str, value: Any, volatile: bool = False) -> None:
         self._gauges[name] = lambda v=value: v
+        if volatile:
+            self._volatile.add(name)
+        else:
+            self._volatile.discard(name)
 
     def read_gauge(self, name: str) -> Any:
         fn = self._gauges.get(name)
@@ -141,15 +202,21 @@ class MetricsRegistry:
 
     def snapshot(self, cycle: int) -> Dict[str, Any]:
         snap: Dict[str, Any] = {"cycle": cycle}
+        snap["values"] = self._values()
+        self.snapshots.append(snap)
+        return snap
+
+    def _values(self) -> Dict[str, Any]:
+        """Counters plus non-volatile gauge readings."""
         values: Dict[str, Any] = dict(self._counters)
         for name, fn in self._gauges.items():
+            if name in self._volatile:
+                continue
             try:
                 values[name] = fn()
             except Exception:
                 values[name] = None
-        snap["values"] = values
-        self.snapshots.append(snap)
-        return snap
+        return values
 
     # -- export ---------------------------------------------------------
     def names(self) -> List[str]:
@@ -158,12 +225,7 @@ class MetricsRegistry:
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        values: Dict[str, Any] = dict(self._counters)
-        for name, fn in self._gauges.items():
-            try:
-                values[name] = fn()
-            except Exception:
-                values[name] = None
+        values = self._values()
         return {
             "values": {k: values[k] for k in sorted(values)},
             "histograms": {
@@ -171,3 +233,49 @@ class MetricsRegistry:
             },
             "snapshots": self.snapshots,
         }
+
+    # -- distributed merge ----------------------------------------------
+    def to_state(self, worker: Optional[int] = None) -> Dict[str, Any]:
+        """Picklable registry state for shipping to a coordinator.
+
+        ``worker`` stamps provenance: gauges are renamed under a
+        ``w{worker}.`` prefix (worker gauges are per-process views, not
+        summable quantities) and snapshots gain a ``worker`` key so the
+        trace exporter can lay them out as per-worker tracks.  Counters
+        and histograms ship unprefixed -- they sum across workers.
+        """
+        prefix = "" if worker is None else f"w{worker}."
+        gauges: Dict[str, Any] = {}
+        for name, fn in self._gauges.items():
+            if name in self._volatile:
+                continue
+            try:
+                gauges[prefix + name] = fn()
+            except Exception:
+                gauges[prefix + name] = None
+        snaps = [dict(s) for s in self.snapshots]
+        if worker is not None:
+            for s in snaps:
+                s.setdefault("worker", worker)
+        return {
+            "counters": dict(self._counters),
+            "gauges": gauges,
+            "hists": {k: h.to_state() for k, h in self._hists.items()},
+            "snapshots": snaps,
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold a shipped state in: counters/histograms sum, gauges are
+        installed by value, snapshots interleave by ``(cycle, worker)``.
+        Associative and commutative over states with distinct workers."""
+        for name, delta in state["counters"].items():
+            self.count(name, delta)
+        for name, value in state["gauges"].items():
+            self.set_gauge(name, value)
+        for name, hs in state["hists"].items():
+            self.histogram(name).merge_state(hs)
+        if state["snapshots"]:
+            self.snapshots.extend(dict(s) for s in state["snapshots"])
+            self.snapshots.sort(
+                key=lambda s: (s["cycle"], s.get("worker", -1))
+            )

@@ -42,12 +42,18 @@ TRACE_STATS_SCHEMA = "repro-trace-stats/1"
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """A traceable workload: engine + full and quick budgets."""
+    """A traceable workload: engine + full and quick budgets.
+
+    ``config_overrides`` are extra :class:`SimConfig` fields the spec
+    needs (e.g. the space spec's square port count); the CLI's
+    ``--engine`` / ``--partitions`` flags override on top of them.
+    """
 
     description: str
     fidelity: str
     workload: WorkloadSpec
     quick_workload: WorkloadSpec
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
 
 
 #: Experiments `repro trace` knows how to run.  ``fig7_1_peak`` is the
@@ -78,10 +84,40 @@ SPECS: Dict[str, TraceSpec] = {
         quick_workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
                                     cycles=12_000, warmup_cycles=0),
     ),
+    "scaling": TraceSpec(
+        description="Space-partitioned Clos (distributed telemetry merge)",
+        fidelity="space",
+        workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
+                              quanta=2000, warmup_quanta=200),
+        quick_workload=WorkloadSpec(pattern="permutation", packet_bytes=1024,
+                                    quanta=600, warmup_quanta=60),
+        config_overrides=(("ports", 16),),
+    ),
 }
 
 #: Default registry snapshot interval (cycles) for traced runs.
 DEFAULT_SNAPSHOT_INTERVAL = 5000
+
+
+def _spec_config(spec: TraceSpec, seed: int, engine: Optional[str],
+                 partitions: Optional[int]) -> SimConfig:
+    kwargs: Dict[str, Any] = dict(spec.config_overrides)
+    kwargs["fidelity"] = engine or spec.fidelity
+    if partitions is not None:
+        kwargs["partitions"] = partitions
+    return SimConfig(seed=seed, **kwargs)
+
+
+def _spec_workload(spec: TraceSpec, quick: bool,
+                   packets: Optional[int], engine: Optional[str]) -> WorkloadSpec:
+    workload = spec.quick_workload if quick else spec.workload
+    if packets is not None:
+        if (engine or spec.fidelity) in ("wordlevel", "space"):
+            raise ValueError(
+                "--packets does not apply to cycle/quanta-budget engines"
+            )
+        workload = workload.replace(packets=packets)
+    return workload
 
 
 def run_traced(
@@ -90,19 +126,20 @@ def run_traced(
     packets: Optional[int] = None,
     seed: int = 0,
     snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL,
+    engine: Optional[str] = None,
+    partitions: Optional[int] = None,
 ) -> Tuple[RunResult, runtime.Telemetry, float]:
     """Run one spec with telemetry enabled; returns (result, tel, wall_s).
 
     Telemetry is enabled *before* the engine is built (engines capture
     the recorder at construction) and restored to its prior state after.
+    ``engine`` / ``partitions`` override the spec's fidelity and worker
+    count (the distributed plane: a space run with P > 1 merges every
+    worker's recorder into the returned one).
     """
     spec = SPECS[name]
-    workload = spec.quick_workload if quick else spec.workload
-    if packets is not None:
-        if spec.fidelity == "wordlevel":
-            raise ValueError("--packets does not apply to the word-level engine")
-        workload = workload.replace(packets=packets)
-    config = SimConfig(fidelity=spec.fidelity, seed=seed)
+    workload = _spec_workload(spec, quick, packets, engine)
+    config = _spec_config(spec, seed, engine, partitions)
     with runtime.capture(snapshot_interval=snapshot_interval) as tel:
         t0 = time.perf_counter()
         result = run_config(config, workload)
@@ -111,14 +148,15 @@ def run_traced(
 
 
 def run_plain(name: str, quick: bool = False,
-              packets: Optional[int] = None, seed: int = 0) -> RunResult:
+              packets: Optional[int] = None, seed: int = 0,
+              engine: Optional[str] = None,
+              partitions: Optional[int] = None) -> RunResult:
     """Same workload with telemetry disabled (the bit-identity reference)."""
     spec = SPECS[name]
-    workload = spec.quick_workload if quick else spec.workload
-    if packets is not None and spec.fidelity != "wordlevel":
-        workload = workload.replace(packets=packets)
+    workload = _spec_workload(spec, quick, packets, engine)
+    config = _spec_config(spec, seed, engine, partitions)
     runtime.disable()
-    return run_config(SimConfig(fidelity=spec.fidelity, seed=seed), workload)
+    return run_config(config, workload)
 
 
 def _result_fingerprint(result: RunResult) -> Dict[str, Any]:
@@ -172,7 +210,9 @@ def _check_overhead(bench_results: Optional[Path]) -> Tuple[bool, str]:
 
 def _check(name: str, quick: bool, packets: Optional[int], seed: int,
            doc: Dict[str, Any], result: RunResult, tel: runtime.Telemetry,
-           bench_results: Optional[Path]) -> int:
+           bench_results: Optional[Path],
+           engine: Optional[str] = None,
+           partitions: Optional[int] = None) -> int:
     failures = 0
 
     problems = validate_chrome_trace(doc)
@@ -184,7 +224,8 @@ def _check(name: str, quick: bool, packets: Optional[int], seed: int,
     else:
         print(f"schema: ok ({len(doc['traceEvents'])} events)")
 
-    result2, tel2, _ = run_traced(name, quick=quick, packets=packets, seed=seed)
+    result2, tel2, _ = run_traced(name, quick=quick, packets=packets, seed=seed,
+                                  engine=engine, partitions=partitions)
     doc2 = chrome_trace(tel2, title=name,
                         ports=result2.config.ports if result2.config else 4)
     if canonical(doc) != canonical(doc2):
@@ -194,7 +235,8 @@ def _check(name: str, quick: bool, packets: Optional[int], seed: int,
     else:
         print("determinism: ok (two same-seed runs exported identical JSON)")
 
-    plain = run_plain(name, quick=quick, packets=packets, seed=seed)
+    plain = run_plain(name, quick=quick, packets=packets, seed=seed,
+                      engine=engine, partitions=partitions)
     if _result_fingerprint(plain) != _result_fingerprint(result):
         failures += 1
         print("disabled-mode identity: FAIL (telemetry changed results)",
@@ -292,9 +334,12 @@ def main(args) -> int:
         if args.snapshot_interval is not None
         else DEFAULT_SNAPSHOT_INTERVAL
     )
+    engine = getattr(args, "engine", None)
+    partitions = getattr(args, "partitions", None)
     result, tel, wall = run_traced(
         name, quick=args.quick, packets=args.packets, seed=args.seed,
         snapshot_interval=snapshot_interval,
+        engine=engine, partitions=partitions,
     )
     ports = result.config.ports if result.config else 4
     doc = chrome_trace(tel, title=name, ports=ports)
@@ -314,6 +359,9 @@ def main(args) -> int:
 
     print(f"{name}: {result.gbps:.3f} Gbps, "
           f"{result.delivered_packets} packets in {result.cycles} cycles")
+    if tel.workers:
+        print(f"merged {len(tel.workers)} worker recorders "
+              f"(workers {', '.join(str(w) for w in sorted(tel.workers))})")
     print()
     print(render_stage_table(tel))
 
@@ -356,5 +404,6 @@ def main(args) -> int:
         print()
         return _check(name, args.quick, args.packets, args.seed,
                       doc, result, tel,
-                      Path(args.bench_results) if args.bench_results else None)
+                      Path(args.bench_results) if args.bench_results else None,
+                      engine=engine, partitions=partitions)
     return 0

@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 TRAFFIC_SCHEMA = "repro-traffic/1"
 
@@ -187,6 +187,11 @@ class TrafficSpec:
     arrivals: ArrivalSpec = ArrivalSpec()
     trace: str = ""
     loop: bool = False
+    #: Traffic-class labels cycled over source ports (port ``p`` belongs
+    #: to ``classes[p % len(classes)]``); empty disables the per-class
+    #: journey dimension.  Purely observational -- classes never change
+    #: what the workload generates.
+    classes: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if self.kind not in ("synthetic", "replay"):
@@ -195,6 +200,18 @@ class TrafficSpec:
             )
         if self.kind == "replay" and not self.trace:
             raise ValueError("replay traffic needs a trace path")
+        if not isinstance(self.classes, tuple):
+            object.__setattr__(self, "classes", tuple(self.classes))
+        if any(not c or not isinstance(c, str) for c in self.classes):
+            raise ValueError("traffic classes must be non-empty strings")
+
+    def port_class_labels(self, num_ports: int) -> Tuple[str, ...]:
+        """Per-port class labels for ``num_ports`` ports (empty when no
+        classes are declared)."""
+        if not self.classes:
+            return ()
+        k = len(self.classes)
+        return tuple(self.classes[p % k] for p in range(num_ports))
 
     def replace(self, **changes: Any) -> "TrafficSpec":
         return dataclasses.replace(self, **changes)

@@ -315,11 +315,17 @@ class TestSharding:
         assert left.counters() == right.counters() == flat.counters()
         assert flat.counters() == merged.counters()
 
-    def test_refuses_active_telemetry(self):
+    def test_telemetry_merges_worker_states(self):
+        # Sharded runs under telemetry record per-slice and fold the
+        # states back in; stats stay bit-identical to the serial run.
         spec = ShardSpec(quanta=40, warmup_quanta=0, shards=2)
-        with runtime.capture():
-            with pytest.raises(ValueError):
-                run_sharded(spec)
+        ref = run_serial(spec)
+        with runtime.capture() as tel:
+            merged, info = run_sharded(spec, workers=1)
+        assert merged.counters() == ref.counters()
+        assert tel.journeys.completed > 0
+        assert sorted(tel.workers) == [0, 1]
+        assert all(m["slice"] == w for w, m in tel.workers.items())
 
     def test_unknown_source_kind(self):
         spec = ShardSpec(source=ShardSpec.pack_source({"kind": "nope"}))

@@ -331,5 +331,21 @@ def test_sweep_worlds_rejects_bad_combinations():
 
     with pytest.raises(ValueError):
         run_sweep({"ports": [4]}, worlds=0)
-    with pytest.raises(ValueError):
-        run_sweep({"ports": [4]}, worlds=2, telemetry=True)
+
+
+def test_sweep_worlds_with_telemetry_merges_per_world():
+    # worlds + telemetry now combine: each world records into its own
+    # recorder (forcing the scalar path) and the merged summary lands on
+    # the row with per-world provenance.
+    from repro.sweep import run_sweep
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        table = run_sweep(
+            {"ports": [4], "quanta": [60]}, worlds=2, telemetry=True
+        )
+    (row,) = table["rows"]
+    assert not row["vectorized"]
+    tel = row["telemetry"]
+    assert sorted(tel["workers"]) == ["0", "1"]
+    assert tel["journeys"]["completed"] > 0

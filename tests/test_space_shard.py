@@ -419,22 +419,41 @@ class TestSpaceEngine:
         with pytest.raises(ValueError, match="fault"):
             run_config(cfg, wl)
 
-    def test_telemetry_forces_loud_serial_fallback(self):
+    def test_telemetry_runs_distributed_and_merges(self):
+        # Telemetry no longer forces a serial fallback: workers record
+        # locally, states merge on the coordinator, and the run stays
+        # distributed, silent, and bit-identical.
         spec = spec_for(4, 3, "permutation", quanta=100, warmup=10)
         ref = run_space_serial(spec)
         with runtime.capture() as tel:
             with warnings.catch_warnings(record=True) as caught:
                 warnings.simplefilter("always")
                 got, info = run_space(spec)
-        assert info.serial_fallback
-        assert info.workers == 1
-        assert any(
-            issubclass(w.category, RuntimeWarning)
-            and "falling back to serial" in str(w.message)
-            for w in caught
-        )
+        assert not info.serial_fallback
+        assert info.workers == 3
+        assert not caught
         assert_stats_identical(ref, got)
-        assert tel.summary()["space_shard"]["serial_fallback"] is True
+        summary = tel.summary()
+        assert summary["space_shard"]["serial_fallback"] is False
+        assert summary["space_shard"]["partitions"] == 3
+        assert sorted(tel.workers) == [0, 1, 2]
+        assert tel.journeys.completed > 0
+
+    def test_telemetry_tables_identical_across_partitions(self):
+        # The merged stage/dimension tables and the detailed-journey
+        # reservoir must not depend on the partition count.
+        tables = {}
+        for parts in (1, 3):
+            spec = spec_for(4, parts, "permutation", quanta=100, warmup=10)
+            with runtime.capture() as tel:
+                run_space(spec)
+            tables[parts] = (
+                {s: h.to_dict() for s, h in tel.journeys.stage_hist.items()},
+                {k: h.to_dict() for k, h in tel.journeys.dim_hist.items()},
+                [j.to_dict() for j in tel.journeys.detailed],
+                (tel.journeys.completed, tel.journeys.dropped),
+            )
+        assert tables[1] == tables[3]
 
     def test_partitions_one_is_silent_serial(self):
         spec = spec_for(4, 1, "permutation", quanta=100, warmup=10)

@@ -68,6 +68,16 @@ class TestLogHistogram:
         assert h.min == 0 and h.max == 1000
         assert h.mean == pytest.approx(1106 / 6)
 
+    def test_percentile_interpolates_within_bucket(self):
+        # Four values in bucket [512, 1023]: p50 lands halfway through
+        # the bucket (512 + 255 = 767), p99 interpolates to 1017 and
+        # clamps to the observed max (1000).
+        h = LogHistogram()
+        for v in (600, 700, 900, 1000):
+            h.record(v)
+        assert h.percentile(50) == 767
+        assert h.percentile(99) == 1000
+
     def test_percentile_clamped_to_max(self):
         h = LogHistogram()
         h.record(276)  # bucket upper bound would be 511

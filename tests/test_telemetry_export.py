@@ -71,6 +71,21 @@ class TestGoldenExport:
             assert hists[stage]["count"] > 0
         assert tel.journeys.completed >= 1
 
+    def test_percentiles_pinned(self, traced_run):
+        """Within-bucket interpolation, pinned for the acceptance run.
+
+        The fabric-stage p50 (3191) falls strictly inside its log
+        bucket [2048, 4095]; the pre-interpolation exporter reported
+        the bucket ceiling (4095) here.  Degenerate single-value
+        stages clamp to the observed value.
+        """
+        _, _, doc = traced_run
+        hists = doc["otherData"]["stage_histograms"]
+        assert (hists["fabric"]["p50"], hists["fabric"]["p99"]) == (3191, 6096)
+        assert (hists["total"]["p50"], hists["total"]["p99"]) == (3733, 6628)
+        assert (hists["ingress"]["p50"], hists["ingress"]["p99"]) == (276, 276)
+        assert (hists["egress"]["p50"], hists["egress"]["p99"]) == (256, 256)
+
     def test_counter_snapshots_present(self, traced_run):
         _, _, doc = traced_run
         counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
