@@ -214,6 +214,7 @@ def _cmd_sweep(args) -> int:
         fidelity=args.fidelity,
         partitions=args.partitions,
         link_latency=args.link_latency,
+        transport=args.transport,
     )
     base_workload = WorkloadSpec(
         pattern=args.pattern,
@@ -239,6 +240,25 @@ def _cmd_sweep(args) -> int:
     print(summarize(table))
     print(f"wrote {args.out}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.parallel.space_shard import serve_worker
+    from repro.parallel.transport import DEFAULT_AUTHKEY
+
+    authkey = args.authkey.encode() if args.authkey else DEFAULT_AUTHKEY
+    print(f"space worker: connecting to {args.address}", flush=True)
+    try:
+        rc = serve_worker(args.address, authkey=authkey)
+    except ConnectionRefusedError:
+        print(
+            f"no coordinator listening on {args.address}; start a run "
+            "with --transport socket:HOST:PORT first",
+            file=sys.stderr,
+        )
+        return 1
+    print("space worker: coordinator hung up, exiting", flush=True)
+    return rc
 
 
 def main(argv=None) -> int:
@@ -450,8 +470,9 @@ def main(argv=None) -> int:
         default=1,
         metavar="P",
         help="default space-engine worker count for cells that do not "
-        "sweep it (cells can also sweep `partitions=1,2,4` as an axis; "
-        "only the `space` fidelity distributes)",
+        "sweep it (0 = adaptive min(middle-stage chips, cpu_count); "
+        "cells can also sweep `partitions=0,2,4` as an axis; only the "
+        "`space` fidelity distributes)",
     )
     sweep.add_argument(
         "--link-latency",
@@ -460,6 +481,15 @@ def main(argv=None) -> int:
         metavar="L",
         help="inter-chip channel latency in quanta for the space engine "
         "(= the token-window length)",
+    )
+    sweep.add_argument(
+        "--transport",
+        default="pipe",
+        metavar="T",
+        help="space-engine boundary transport: pipe (default), shm "
+        "(shared-memory flit rings), socket (localhost TCP hub), or "
+        "socket:HOST:PORT to wait for external `repro serve` workers "
+        "(cells can also sweep `transport=pipe,shm` as an axis)",
     )
     sweep.add_argument(
         "--pattern",
@@ -490,6 +520,24 @@ def main(argv=None) -> int:
         action="store_true",
         help="enable telemetry in every worker; each cell's result "
         "carries a telemetry summary",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="run one space-fabric worker that serves partitions to a "
+        "remote coordinator (a run started with "
+        "--transport socket:HOST:PORT)",
+    )
+    serve.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="the coordinator's listen address",
+    )
+    serve.add_argument(
+        "--authkey",
+        default=None,
+        metavar="KEY",
+        help="shared secret for the connection (must match the "
+        "coordinator; default: a well-known development key)",
     )
     chaos = sub.add_parser(
         "chaos", help="fault-injection scenarios: MTTR / goodput / drops"
@@ -550,4 +598,6 @@ def main(argv=None) -> int:
         return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover

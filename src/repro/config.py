@@ -144,12 +144,16 @@ class SimConfig:
     #: detection + fast-forward for deterministic saturated sources.
     alloc_cache: int = 0
     fast_forward: bool = False
-    #: Space fidelity only (DESIGN.md §13): worker-process count for the
-    #: token-window partitioned Clos (1 = in-process serial reference)
-    #: and the uniform inter-chip channel latency in quanta (= the token
-    #: window length).
+    #: Space fidelity only (DESIGN.md §13/§15): worker-process count for
+    #: the token-window partitioned fabric (1 = in-process serial
+    #: reference, 0 = adaptive ``min(topology cut width, cpu_count)``),
+    #: the uniform inter-chip channel latency in quanta (= the token
+    #: window length), and the boundary transport ("pipe", "shm",
+    #: "socket", or "socket:HOST:PORT" for external ``repro serve``
+    #: workers).
     partitions: int = 1
     link_latency: int = 4
+    transport: str = "pipe"
     costs: CostModel = field(default=_DEFAULT)
 
     def __post_init__(self):
@@ -157,10 +161,15 @@ class SimConfig:
             raise ValueError("a router needs at least 2 ports")
         if self.alloc_cache < 0:
             raise ValueError("alloc_cache must be >= 0 (0 disables)")
-        if self.partitions < 1:
-            raise ValueError("partitions must be >= 1")
+        if self.partitions < 0:
+            raise ValueError("partitions must be >= 1 (or 0 for adaptive)")
         if self.link_latency < 1:
             raise ValueError("link_latency must be >= 1 quantum")
+        if self.transport.split(":", 1)[0] not in ("pipe", "shm", "socket"):
+            raise ValueError(
+                f"unknown transport {self.transport!r}; expected pipe, "
+                "shm, socket, or socket:HOST:PORT"
+            )
         if self.networks not in (1, 2):
             raise ValueError("Raw has one or two static networks")
         if self.fidelity not in FIDELITIES:

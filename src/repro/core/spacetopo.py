@@ -126,13 +126,28 @@ class SpaceTopology:
     def route(self, node: int, dest: int) -> int:
         """The output leg a fragment for global port ``dest`` takes at
         ``node`` (clos: spread by dest over middles, then by egress
-        chip, then the local output leg)."""
+        chip, then the local output leg; torus: shortest way around the
+        ring, ties broken toward +, then the local output leg)."""
         k = self.k
+        if self.geometry == "torus":
+            ext = k - 2
+            d = dest // ext
+            if d == node:
+                return 2 + dest % ext
+            delta = (d - node) % self.num_nodes
+            return 0 if delta <= self.num_nodes - delta else 1
         if node < k:  # ingress chip -> middle index
             return dest % k
         if node < 2 * k:  # middle chip -> egress chip index
             return dest // k
         return dest % k  # egress chip -> local output leg
+
+    @property
+    def preferred_partitions(self) -> int:
+        """The topology's natural worker count before the CPU clamp: the
+        middle-stage chip count for a Clos (each stage block then holds
+        whole chips), every chip for a torus."""
+        return self.k if self.geometry == "clos" else self.num_nodes
 
     # -- partitioning ---------------------------------------------------
     def partition(self, parts: int) -> List[List[int]]:
@@ -208,10 +223,124 @@ def clos_topology(k: int, latency: int = 1) -> SpaceTopology:
     )
 
 
+def torus_topology(k: int, latency: int = 1) -> SpaceTopology:
+    """A 1-D bidirectional torus (ring) of ``k`` k-port crossbar chips.
+
+    Node ids ``0..k-1`` around the ring.  Each chip spends leg ``0`` on
+    its ``+1`` neighbor and leg ``1`` on its ``-1`` neighbor; legs
+    ``2..k-1`` are external, so the fabric exposes ``k * (k - 2)``
+    ports, global port ``g`` mapping to chip ``g // (k-2)`` leg
+    ``2 + g % (k-2)`` for both input and output.  Channel ``2c`` runs
+    ``c -> c+1`` (src leg 0 into dst leg 1), channel ``2c + 1`` runs
+    ``c -> c-1`` (src leg 1 into dst leg 0); every channel carries the
+    same ``latency``.  Unlike the feed-forward Clos, the partition graph
+    is cyclic, so torus runs need the worker pool (the in-process
+    toposort helper refuses them).
+    """
+    if k < 3:
+        raise ValueError("a torus chip needs >= 3 ports (2 ring + 1 external)")
+    channels: List[Channel] = []
+    for c in range(k):
+        channels.append(Channel(
+            cid=len(channels), src_node=c, src_leg=0,
+            dst_node=(c + 1) % k, dst_leg=1, latency=latency,
+        ))
+        channels.append(Channel(
+            cid=len(channels), src_node=c, src_leg=1,
+            dst_node=(c - 1) % k, dst_leg=0, latency=latency,
+        ))
+    ext = k - 2
+    ext_in = {g: (g // ext, 2 + g % ext) for g in range(k * ext)}
+    ext_out = {(c, 2 + l): c * ext + l for c in range(k) for l in range(ext)}
+    return SpaceTopology(
+        geometry="torus", k=k, num_nodes=k, num_ports=k * ext,
+        channels=channels, ext_in=ext_in, ext_out=ext_out,
+    )
+
+
+#: Geometry name -> (ports for chip size k, topology builder).
+GEOMETRIES = {
+    "clos": (lambda k: k * k, clos_topology),
+    "torus": (lambda k: k * (k - 2), torus_topology),
+}
+
+
+def geometry_ports(geometry: str, k: int) -> int:
+    """External port count of ``geometry`` at chip size ``k`` without
+    building the topology."""
+    try:
+        ports_of, _ = GEOMETRIES[geometry]
+    except KeyError:
+        raise ValueError(
+            f"unknown space geometry {geometry!r}; expected one of "
+            f"{tuple(GEOMETRIES)}"
+        ) from None
+    return ports_of(k)
+
+
 def build_topology(geometry: str, k: int, latency: int = 1) -> SpaceTopology:
-    if geometry == "clos":
-        return clos_topology(k, latency=latency)
-    raise ValueError(f"unknown space geometry {geometry!r}")
+    try:
+        _, builder = GEOMETRIES[geometry]
+    except KeyError:
+        raise ValueError(
+            f"unknown space geometry {geometry!r}; expected one of "
+            f"{tuple(GEOMETRIES)}"
+        ) from None
+    return builder(k, latency=latency)
+
+
+def link_fault_windows(
+    plan, num_channels: int
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Normalize a fault plan into per-channel down-windows.
+
+    The space fabric realizes exactly one fault kind: ``link_down`` on a
+    ``"link:<cid>"`` target, with ``cycle``/``duration`` read in
+    *quanta*.  A downed channel holds traffic: any fragment whose
+    arrival quantum lands inside ``[cycle, cycle + duration)`` is
+    deferred to the window's end.  Deferral is monotone (earlier
+    arrivals never land after later ones), so per-channel FIFO order --
+    the property bit-identity rests on -- survives.  Returns
+    ``{cid: [(start, end), ...]}`` with overlaps merged; raises
+    ``ValueError`` on any event the space fabric cannot realize.
+    """
+    windows: Dict[int, List[Tuple[int, int]]] = {}
+    if not plan:
+        return windows
+    for ev in plan.events:
+        if ev.kind != "link_down":
+            raise ValueError(
+                f"space fabric cannot realize fault kind {ev.kind!r}; "
+                "only link_down on link:<cid> targets is supported"
+            )
+        if not ev.target.startswith("link:"):
+            raise ValueError(
+                f"space link faults need a link:<cid> target, got "
+                f"{ev.target!r}"
+            )
+        try:
+            cid = int(ev.target[5:])
+        except ValueError:
+            raise ValueError(
+                f"space link faults need a link:<cid> target, got "
+                f"{ev.target!r}"
+            ) from None
+        if not 0 <= cid < num_channels:
+            raise ValueError(
+                f"fault target channel {cid} out of range "
+                f"(topology has {num_channels} channels)"
+            )
+        windows.setdefault(cid, []).append((ev.cycle, ev.end))
+    for cid, ws in windows.items():
+        ws.sort()
+        merged = [ws[0]]
+        for s, e in ws[1:]:
+            if s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        windows[cid] = merged
+    return windows
 
 
 class ChipNode:
@@ -299,9 +428,16 @@ class PartitionSim:
         costs: CostModel = CostModel.default(),
         cache_size: int = 0,
         max_quantum_words: Optional[int] = None,
+        fault_plan=None,
     ):
         self.topo = topo
         self.costs = costs
+        #: cid -> merged (start, end) down-windows; arrivals landing in
+        #: a window defer to its end (identical on both halves of a cut
+        #: boundary because the plan travels inside the spec).
+        self._fault_windows = link_fault_windows(
+            fault_plan, len(topo.channels)
+        )
         self.owned = sorted(node_ids)
         own = set(self.owned)
         self.max_quantum_words = (
@@ -348,11 +484,25 @@ class PartitionSim:
         self._adm_seq: Dict[int, int] = {}
 
     # -- boundary protocol ---------------------------------------------
+    def _arrival(self, ch: Channel, send_quantum: int) -> int:
+        """When a fragment sent at ``send_quantum`` becomes visible:
+        ``latency`` quanta later, pushed to the end of any down-window
+        it lands in (monotone, so per-channel FIFO order holds)."""
+        arrival = send_quantum + ch.latency
+        windows = self._fault_windows.get(ch.cid)
+        if windows:
+            for start, end in windows:
+                if start <= arrival < end:
+                    return end
+                if arrival < start:
+                    break
+        return arrival
+
     def inject(self, cid: int, send_quantum: int, frag: SpaceFrag) -> None:
         """Deliver a boundary fragment: visible ``latency`` quanta after
         its send quantum (the receiver-side half of the token window)."""
         ch = self.topo.channels[cid]
-        self.arrivals[cid].append((send_quantum + ch.latency, frag))
+        self.arrivals[cid].append((self._arrival(ch, send_quantum), frag))
 
     def drain_outgoing(self) -> List[Tuple[int, int, SpaceFrag]]:
         """(cid, send quantum, frag) sends since the last drain."""
@@ -454,7 +604,7 @@ class PartitionSim:
                         self.outgoing.append((ch.cid, q, frag))
                     else:
                         self.arrivals[ch.cid].append(
-                            ((q + ch.latency), frag)
+                            (self._arrival(ch, q), frag)
                         )
             if measuring:
                 stats.body_max.append(body)

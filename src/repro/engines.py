@@ -336,7 +336,9 @@ class SpaceEngine(_BaseEngine):
     def _spec(self, workload: WorkloadSpec):
         import math
 
-        from repro.parallel.space_shard import SpaceSpec
+        from repro.core.spacetopo import build_topology
+        from repro.faults.plan import resolve_plan
+        from repro.parallel.space_shard import SpaceSpec, auto_partitions
         from repro.traffic.build import shard_source
 
         ports = self.config.ports
@@ -344,6 +346,13 @@ class SpaceEngine(_BaseEngine):
         if k * k != ports or k < 2:
             raise ValueError(
                 f"space fidelity needs a square port count (k*k), got {ports}"
+            )
+        partitions = self.config.partitions
+        if partitions == 0:
+            # Adaptive: as many workers as the Clos's middle stage (= k
+            # chips per block boundary cut) and the box's cores allow.
+            partitions = auto_partitions(
+                build_topology("clos", k, latency=self.config.link_latency)
             )
         source = shard_source(workload.effective_traffic(), seed=self.config.seed)
         warmup = (
@@ -354,26 +363,50 @@ class SpaceEngine(_BaseEngine):
         return SpaceSpec(
             k=k,
             latency=self.config.link_latency,
-            partitions=self.config.partitions,
+            partitions=partitions,
             costs=self.config.cost_model(),
             source=SpaceSpec.pack_source(source),
             quanta=workload.quanta,
             warmup_quanta=warmup,
             cache_size=self.config.alloc_cache,
+            fault_plan=resolve_plan(workload.fault_plan),
         )
+
+    def _check_fault_plan(self, spec) -> None:
+        """Accept fault plans the space fabric can realize exactly:
+        ``link_down`` events on channels that stay inside one partition.
+        Boundary-channel faults are refused loudly -- a deferred arrival
+        there would interact with the token-window framing that the
+        stall/coalescing accounting assumes fault-free."""
+        from repro.core.spacetopo import link_fault_windows
+
+        if spec.fault_plan is None:
+            return
+        topo = spec.topology()
+        windows = link_fault_windows(spec.fault_plan, len(topo.channels))
+        boundary = {
+            ch.cid
+            for ch in topo.boundary_channels(topo.partition(spec.partitions))
+        }
+        bad = sorted(set(windows) & boundary)
+        if bad:
+            raise ValueError(
+                f"fault plan targets cross-partition channel(s) {bad} at "
+                f"partitions={spec.partitions}; the space engine only "
+                "realizes faults on intra-partition links (lower "
+                "--partitions or move the fault)"
+            )
 
     def run(self, workload: WorkloadSpec) -> RunResult:
         from repro.parallel.space_shard import run_space
 
-        if workload.fault_plan is not None:
-            raise ValueError(
-                "the space engine has no fault realization yet; "
-                "run fault plans at fabric fidelity"
-            )
         spec = self._spec(workload)
+        self._check_fault_plan(spec)
         _install_port_classes(workload, self.config.ports)
         stats, info = run_space(spec, pool=self.pool,
-                                on_snapshot=self.on_snapshot)
+                                on_snapshot=self.on_snapshot,
+                                transport=self.config.transport)
+        info.partitions_auto = self.config.partitions == 0
         return RunResult(
             fidelity=self.fidelity,
             cycles=stats.cycles,

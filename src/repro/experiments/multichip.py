@@ -33,12 +33,14 @@ def run(
     geometry: str = "clos",
     partitions: int = 3,
     latency: int = 4,
+    transport: str = "pipe",
 ) -> ExperimentResult:
     """Compare one big ring against composed crossbars at ``k*k`` ports.
 
     ``k`` sets the chip size and port count (k*k ports from 3k chips);
-    ``partitions``/``latency`` drive the same Clos through the
-    space-partitioned token-window engine for the distributed rows.
+    ``partitions``/``latency``/``transport`` drive the same Clos through
+    the space-partitioned token-window engine for the distributed rows
+    (``transport``: pipe, shm, or socket -- DESIGN.md §15).
     """
     if geometry != "clos":
         raise ValueError(f"unknown multichip geometry {geometry!r}")
@@ -93,7 +95,7 @@ def run(
         warmup_quanta=quanta // 10,
     )
     serial = run_space_serial(spec, cached=True)
-    dist, info = run_space(spec)
+    dist, info = run_space(spec, transport=transport)
     if dist.counters() != serial.counters():
         raise AssertionError(
             "space-partitioned Clos diverged from the serial reference"
@@ -103,6 +105,7 @@ def run(
     result.add(
         "space_boundary_flits_total", float(sum(info.boundary_flits))
     )
+    result.add("space_bytes_moved", float(sum(info.bytes_moved)))
     result.notes = (
         "the composition trades 3k chips and a 3-quantum pipeline for "
         "bisection bandwidth: adversarial permutations scale again, the "

@@ -16,9 +16,18 @@ from repro.parallel.space_shard import (  # noqa: F401
     SpaceRunInfo,
     SpaceSpec,
     SpaceWorkerPool,
+    auto_partitions,
+    backend_counters,
+    merge_backend_counters,
     run_space,
     run_space_inprocess,
     run_space_serial,
+    serve_worker,
+)
+from repro.parallel.transport import (  # noqa: F401
+    DEFAULT_AUTHKEY,
+    TRANSPORTS,
+    transport_name,
 )
 
 __all__ = [
@@ -30,7 +39,14 @@ __all__ = [
     "SpaceSpec",
     "SpaceRunInfo",
     "SpaceWorkerPool",
+    "auto_partitions",
+    "backend_counters",
+    "merge_backend_counters",
     "run_space",
     "run_space_inprocess",
     "run_space_serial",
+    "serve_worker",
+    "DEFAULT_AUTHKEY",
+    "TRANSPORTS",
+    "transport_name",
 ]

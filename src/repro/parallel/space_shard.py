@@ -29,10 +29,29 @@ chip sizes and traffic families.
 Workers are *persistent*: :class:`SpaceWorkerPool` keeps the processes
 warm between runs and streams successive :class:`SpaceSpec` s to them
 over command pipes -- the seed of the long-lived simulator service the
-ROADMAP names.  Boundary batches travel over dedicated one-way
-:func:`multiprocessing.Pipe` s (one per ordered partition pair), so
-rounds pipeline without a global barrier: a worker that finished its
-window blocks only on the specific peers feeding it.
+ROADMAP names.  Boundary batches travel over a pluggable transport
+(:mod:`repro.parallel.transport`): multiprocessing pipes (the compat
+default), shared-memory flit rings (fixed-layout numpy records, no
+pickling on the hot path), or TCP sockets (``repro serve`` workers on
+other machines).  All transports preserve the pipelining property: a
+worker that finished its window blocks only on the specific peers
+feeding it.
+
+Two adaptive knobs sit on top, both bit-identity-preserving:
+
+* **Adaptive window coalescing** (``SpaceSpec.adaptive_window``): a
+  worker whose in-peers have already shipped their *next* window
+  batches -- provably idle boundary channels, in the conservative-
+  lookahead sense that every fragment that could arrive in the widened
+  span is in hand -- injects them early and advances several windows
+  in one stride.  Outgoing traffic is still framed one batch per round
+  (bucketed by ``send_quantum // window``), so receivers are none the
+  wiser; partitions with no incoming boundary channels (a Clos ingress
+  stage) coalesce their entire timeline.
+* **Adaptive partition counts** (:func:`auto_partitions`,
+  ``partitions=0`` in the engine/CLI layer): P defaults to
+  ``min(middle-stage chips, cpu_count)`` instead of a hard-coded
+  constant.
 """
 
 from __future__ import annotations
@@ -51,10 +70,13 @@ from repro.core.spacetopo import (
     PartitionSim,
     SpaceTopology,
     build_topology,
+    geometry_ports,
     merge_part_stats,
     part_payload,
     payload_to_stats,
 )
+from repro.faults.plan import FaultPlan
+from repro.parallel import transport as _transport
 from repro.telemetry import runtime as _telemetry
 
 
@@ -79,6 +101,9 @@ class SpaceSpec:
     quanta: int = 2000
     warmup_quanta: int = 200
     cache_size: int = 4096  #: per-chip allocation LRU (0 disables)
+    adaptive_window: bool = True  #: coalesce windows over idle boundaries
+    max_coalesce: int = 64  #: most windows one adaptive stride may cover
+    fault_plan: Optional[FaultPlan] = None  #: intra-partition link faults
 
     def __post_init__(self):
         if self.latency < 1:
@@ -87,10 +112,12 @@ class SpaceSpec:
             raise ValueError("partitions must be >= 1")
         if self.warmup_quanta < 0 or self.quanta < 1:
             raise ValueError("need quanta >= 1 and warmup_quanta >= 0")
+        if self.max_coalesce < 1:
+            raise ValueError("max_coalesce must be >= 1")
 
     @property
     def num_ports(self) -> int:
-        return self.k * self.k
+        return geometry_ports(self.geometry, self.k)
 
     def source_dict(self) -> Dict[str, Any]:
         return dict(self.source)
@@ -120,6 +147,10 @@ class SpaceRunInfo:
     boundary_flits: List[int]
     serial_fallback: bool = False
     fallback_reason: str = ""
+    transport: str = "pipe"
+    bytes_moved: List[int] = field(default_factory=list)
+    coalesced_rounds: List[int] = field(default_factory=list)
+    partitions_auto: bool = False
 
     def extra_dict(self) -> Dict[str, Any]:
         """The JSON-safe form attached to ``RunResult.extra``."""
@@ -133,6 +164,10 @@ class SpaceRunInfo:
             "boundary_flits": list(self.boundary_flits),
             "serial_fallback": self.serial_fallback,
             "fallback_reason": self.fallback_reason,
+            "transport": self.transport,
+            "bytes_moved": list(self.bytes_moved),
+            "coalesced_rounds": list(self.coalesced_rounds),
+            "partitions_auto": self.partitions_auto,
         }
 
 
@@ -170,7 +205,51 @@ def build_partition(
         node_ids,
         costs=spec.costs,
         cache_size=spec.cache_size if cached else 0,
+        fault_plan=spec.fault_plan,
     )
+
+
+def auto_partitions(topo: SpaceTopology) -> int:
+    """The adaptive partition-count heuristic: as many workers as the
+    topology's natural cut width supports, bounded by the cores actually
+    available -- ``min(middle-stage chips, cpu_count)`` for a Clos.
+    Returns 1 on single-core boxes (the silent serial fallback)."""
+    import os as _os
+
+    cpus = _os.cpu_count() or 1
+    return max(1, min(topo.preferred_partitions, cpus))
+
+
+#: Associative/commutative per-backend counter keys folded through the
+#: telemetry merge path (sum-merge; see :func:`merge_backend_counters`).
+BACKEND_COUNTER_KEYS = (
+    "windows",
+    "boundary_flits",
+    "bytes_moved",
+    "coalesced_rounds",
+)
+
+
+def backend_counters(info: SpaceRunInfo) -> Dict[str, int]:
+    """One worker-set's transport counters in sum-mergeable form."""
+    return {
+        "windows": sum(info.windows_per_worker),
+        "boundary_flits": sum(info.boundary_flits),
+        "bytes_moved": sum(info.bytes_moved),
+        "coalesced_rounds": sum(info.coalesced_rounds),
+    }
+
+
+def merge_backend_counters(
+    a: Dict[str, int], b: Dict[str, int]
+) -> Dict[str, int]:
+    """Sum-merge two per-backend counter dicts (associative and
+    commutative over integer counters, so partial merges fold in any
+    order -- the same algebra the telemetry merge path relies on)."""
+    out = dict(a)
+    for key, val in b.items():
+        out[key] = out.get(key, 0) + val
+    return out
 
 
 def run_space_serial(spec: SpaceSpec, cached: bool = False) -> FabricStats:
@@ -195,17 +274,20 @@ def _simulate_partition(
     blocks: List[List[int]],
     recv_fns: Dict[int, Any],
     send_fns: Dict[int, Any],
+    poll_fns: Optional[Dict[int, Any]] = None,
     tel_cfg: Optional[Dict[str, Any]] = None,
     snap_fn=None,
 ) -> Tuple:
     """Run one partition's token-window rounds.
 
     ``recv_fns[peer]()`` blocks until that peer's next batch arrives;
-    ``send_fns[peer](batch)`` ships one.  Returns ``(stats payload,
-    windows, pipe-stall seconds, boundary flits sent)`` -- plus the
-    worker-local telemetry state when ``tel_cfg`` asked for recording.
-    The same function drives both the multiprocessing workers (pipe
-    ``recv`` / ``send``) and the in-process fallback used by tests.
+    ``send_fns[peer](batch)`` ships one; ``poll_fns[peer]()`` (optional)
+    reports whether a batch is already waiting -- the hook adaptive
+    window coalescing needs.  Returns ``(stats payload, windows,
+    pipe-stall seconds, boundary flits sent, coalesced rounds)`` -- plus
+    the worker-local telemetry state when ``tel_cfg`` asked for
+    recording.  The same function drives the multiprocessing workers
+    (any transport) and the in-process fallback used by tests.
 
     ``tel_cfg`` (from :meth:`Telemetry.config` plus ``port_classes``)
     installs a fresh *worker-local* recorder for the duration: journeys
@@ -231,8 +313,8 @@ def _simulate_partition(
         _telemetry.RECORDER = tel
     try:
         return _run_partition_rounds(
-            spec, part_id, blocks, recv_fns, send_fns, topo, owner,
-            tel, snap_fn,
+            spec, part_id, blocks, recv_fns, send_fns, poll_fns, topo,
+            owner, tel, snap_fn,
         )
     finally:
         _telemetry.RECORDER = prev_recorder
@@ -244,6 +326,7 @@ def _run_partition_rounds(
     blocks: List[List[int]],
     recv_fns: Dict[int, Any],
     send_fns: Dict[int, Any],
+    poll_fns: Optional[Dict[int, Any]],
     topo: SpaceTopology,
     owner: Dict[int, int],
     tel,
@@ -279,10 +362,18 @@ def _run_partition_rounds(
     # Stream at most ~16 live snaps per run so snap traffic stays small
     # relative to the boundary batches.
     snap_every = max(1, rounds // 16) if snap_fn is not None else 0
+    # Adaptive coalescing stays off under telemetry: snapshot cadence is
+    # keyed to the per-round advance, and determinism of the exported
+    # state matters more there than wall-clock.
+    adaptive = (
+        spec.adaptive_window and tel is None and poll_fns is not None
+    )
     stall = 0.0
     flits_sent = 0
+    coalesced = 0
     q = 0
-    for r in range(rounds):
+    r = 0
+    while r < rounds:
         if r > 0:
             # Collect every in-peer's round r-1 window in peer order; the
             # per-channel FIFOs inside inject() preserve send order, so
@@ -293,7 +384,23 @@ def _run_partition_rounds(
                 stall += time.perf_counter() - t0
                 for cid, send_q, frag in batch:
                     sim.inject(cid, send_q, frag)
-        count = min(window, total - q)
+        # Widen the stride while every in-peer's *next* window batch has
+        # already arrived: holding batch r+s-1 from all feeders means
+        # every fragment that can arrive before quantum (r+s+1)*window
+        # is in hand (conservative lookahead), so rounds r..r+s can run
+        # in one advance.  Partitions with no in-peers (all([]) is True)
+        # coalesce their whole timeline.
+        span = 1
+        if adaptive:
+            limit = min(spec.max_coalesce, rounds - r)
+            while span < limit and all(
+                poll_fns[peer]() for peer in in_peers
+            ):
+                for peer in in_peers:
+                    for cid, send_q, frag in recv_fns[peer]():
+                        sim.inject(cid, send_q, frag)
+                span += 1
+        count = min(span * window, total - q)
         sim.advance(source, q, count, spec.warmup_quanta)
         q += count
         if tel is not None:
@@ -301,115 +408,112 @@ def _run_partition_rounds(
         if snap_every and (r + 1) % snap_every == 0 and r < rounds - 1:
             snap_fn(tel.to_state(worker=part_id,
                                  meta={"partition": part_id, "round": r + 1}))
-        if r < rounds - 1:
-            # Ship this round's boundary sends, one batch per out-peer,
-            # empty batches included (the receiver counts arrivals, not
-            # contents, to know the window is complete).
-            out = sim.drain_outgoing()
-            flits_sent += len(out)
-            batches: Dict[int, List[Tuple[int, int, Any]]] = {
-                peer: [] for peer in out_peers
+        # Ship boundary sends framed exactly one batch per covered round
+        # per out-peer (empty batches included -- the receiver counts
+        # arrivals, not contents, to know a window is complete), so a
+        # coalescing sender is indistinguishable from a round-at-a-time
+        # one.  The final protocol round never ships.
+        out = sim.drain_outgoing()
+        flits_sent += len(out)
+        send_hi = min(r + span, rounds - 1)
+        if send_hi > r:
+            buckets: Dict[int, Dict[int, List[Tuple[int, int, Any]]]] = {
+                rr: {peer: [] for peer in out_peers}
+                for rr in range(r, send_hi)
             }
             for cid, send_q, frag in out:
+                rr = send_q // window
+                if rr >= send_hi:
+                    continue  # final-round traffic drains but never ships
                 dst_part = owner[topo.channels[cid].dst_node]
-                batches[dst_part].append((cid, send_q, frag))
-            for peer in out_peers:
-                send_fns[peer](batches[peer])
-        else:
-            flits_sent += len(sim.drain_outgoing())
+                buckets[rr][dst_part].append((cid, send_q, frag))
+            for rr in range(r, send_hi):
+                for peer in out_peers:
+                    send_fns[peer](buckets[rr][peer])
+        coalesced += span - 1
+        r += span
     if tel is None:
-        return part_payload(sim.stats), rounds, stall, flits_sent
+        return part_payload(sim.stats), rounds, stall, flits_sent, coalesced
     tel.registry.snapshot(q)
     state = tel.to_state(worker=part_id,
                          meta={"partition": part_id, "rounds": rounds,
                                "chips": len(blocks[part_id])})
-    return part_payload(sim.stats), rounds, stall, flits_sent, state
+    return (part_payload(sim.stats), rounds, stall, flits_sent, coalesced,
+            state)
 
 
-def _space_worker(part_id, cmd_conn, recv_conns, send_conns):
-    """Persistent worker loop: block on the command pipe, run one
+def _space_worker(part_id, cmd_conn, link):
+    """Persistent worker loop: block on the command channel, run one
     partition per ``("run", spec, blocks, tel_cfg)`` message, exit on
-    ``None``.  Live telemetry snaps stream back over the same command
-    pipe as ``("snap", part_id, state)`` messages ahead of the terminal
-    ``("ok", result)`` / ``("err", msg)``."""
+    ``None`` (or the coordinator hanging up).  Live telemetry snaps
+    stream back over the same channel as ``("snap", part_id, state)``
+    messages ahead of the terminal ``("ok", result, bytes_sent)`` /
+    ``("err", msg)``.  ``link`` is any transport worker link (pipe
+    bundle, shm ring bundle, or the socket :class:`HubEndpoint`, which
+    doubles as ``cmd_conn``)."""
     # The fork start method hands children the parent's recorder; each
     # run installs its own local one (or none) via tel_cfg instead.
     _telemetry.RECORDER = None
-    recv_fns = {peer: conn.recv for peer, conn in recv_conns.items()}
-    send_fns = {peer: conn.send for peer, conn in send_conns.items()}
-    while True:
-        msg = cmd_conn.recv()
-        if msg is None:
-            return
-        _tag, spec, blocks, tel_cfg = msg
-        try:
-            result = _simulate_partition(
-                spec, part_id, blocks, recv_fns, send_fns,
-                tel_cfg=tel_cfg,
-                snap_fn=(
-                    (lambda state: cmd_conn.send(("snap", part_id, state)))
-                    if tel_cfg is not None and tel_cfg.get("stream_snaps")
-                    else None
-                ),
-            )
-            cmd_conn.send(("ok", result))
-        except Exception as exc:  # surfaced in the parent, not swallowed
-            cmd_conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    ports = link.open()
+    # The socket hub demultiplexes commands from relayed data batches.
+    recv_cmd = getattr(cmd_conn, "recv_cmd", None) or cmd_conn.recv
+    try:
+        while True:
+            try:
+                msg = recv_cmd()
+            except EOFError:
+                return
+            if msg is None:
+                return
+            _tag, spec, blocks, tel_cfg = msg
+            ports.reset_counters()
+            try:
+                result = _simulate_partition(
+                    spec, part_id, blocks,
+                    ports.recv_fns, ports.send_fns,
+                    poll_fns=ports.poll_fns,
+                    tel_cfg=tel_cfg,
+                    snap_fn=(
+                        (lambda state: cmd_conn.send(
+                            ("snap", part_id, state)))
+                        if tel_cfg is not None and tel_cfg.get("stream_snaps")
+                        else None
+                    ),
+                )
+                cmd_conn.send(("ok", result, ports.bytes_sent()))
+            except Exception as exc:  # surfaced in the parent
+                cmd_conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        ports.close()
 
 
 class SpaceWorkerPool:
-    """A warm pool of ``P`` partition workers plus their boundary pipes.
+    """A warm pool of ``P`` partition workers plus their boundary links.
 
-    Construction forks the processes and wires one simplex data pipe per
+    Construction launches the workers over the chosen transport backend
+    (``"pipe"`` pickle-over-pipe, ``"shm"`` shared-memory flit rings, or
+    ``"socket"`` / ``"socket:HOST:PORT"`` TCP hub -- see
+    :mod:`repro.parallel.transport`) with one directed boundary link per
     ordered partition pair (full mesh -- any geometry's boundary graph
     is a subgraph).  :meth:`run` streams a :class:`SpaceSpec` to every
-    worker and gathers the merged stats; the processes survive between
-    runs, so successive workloads skip process/pipe setup entirely.
+    worker and gathers the merged stats; the workers survive between
+    runs, so successive workloads skip process/link setup entirely.
     Use as a context manager or call :meth:`close`.
     """
 
-    def __init__(self, partitions: int):
-        import multiprocessing as mp
-
+    def __init__(
+        self,
+        partitions: int,
+        transport: str = "pipe",
+        authkey: bytes = _transport.DEFAULT_AUTHKEY,
+    ):
         if partitions < 2:
             raise ValueError("a worker pool needs at least 2 partitions")
         self.partitions = partitions
-        ctx = mp.get_context()
-        # cmd_pipes[p]: duplex parent <-> worker p (specs down, stats up).
-        self._cmd_parent = []
-        cmd_children = []
-        for _ in range(partitions):
-            parent_end, child_end = ctx.Pipe(duplex=True)
-            self._cmd_parent.append(parent_end)
-            cmd_children.append(child_end)
-        # data_pipes[(src, dst)]: simplex src -> dst boundary batches.
-        recv_ends: List[Dict[int, Any]] = [{} for _ in range(partitions)]
-        send_ends: List[Dict[int, Any]] = [{} for _ in range(partitions)]
-        self._data_ends = []
-        for src in range(partitions):
-            for dst in range(partitions):
-                if src == dst:
-                    continue
-                r_end, s_end = ctx.Pipe(duplex=False)
-                recv_ends[dst][src] = r_end
-                send_ends[src][dst] = s_end
-                self._data_ends.extend((r_end, s_end))
-        self._procs = []
-        for p in range(partitions):
-            proc = ctx.Process(
-                target=_space_worker,
-                args=(p, cmd_children[p], recv_ends[p], send_ends[p]),
-                daemon=True,
-            )
-            proc.start()
-            self._procs.append(proc)
-        # The parent must drop its references to the child pipe ends so
-        # worker exit closes them cleanly.
-        for end in cmd_children:
-            end.close()
-        for end in self._data_ends:
-            end.close()
-        self._data_ends = []
+        self.transport = _transport.transport_name(transport)
+        self._backend = _transport.create(transport, partitions,
+                                          authkey=authkey)
+        self._backend.launch(_space_worker)
         self.runs = 0
 
     # ------------------------------------------------------------------
@@ -444,12 +548,14 @@ class SpaceWorkerPool:
             )
         if tel_cfg is not None and on_snapshot is not None:
             tel_cfg = dict(tel_cfg, stream_snaps=True)
-        for conn in self._cmd_parent:
+        cmd_conns = self._backend.cmd_conns
+        for conn in cmd_conns:
             conn.send(("run", spec, blocks, tel_cfg))
         results: Dict[int, Tuple] = {}
+        worker_bytes: Dict[int, int] = {}
         errors = []
-        part_of = {id(conn): p for p, conn in enumerate(self._cmd_parent)}
-        pending = list(self._cmd_parent)
+        part_of = {id(conn): p for p, conn in enumerate(cmd_conns)}
+        pending = list(cmd_conns)
         while pending:
             for conn in _conn_wait(pending):
                 p = part_of[id(conn)]
@@ -458,6 +564,11 @@ class SpaceWorkerPool:
                 except EOFError:
                     errors.append(f"partition {p}: worker died")
                     pending.remove(conn)
+                    continue
+                if msg[0] == "data":
+                    # Socket hub: boundary batches relay through the
+                    # coordinator; the payload stays pickled end to end.
+                    self._backend.route_data(p, msg)
                     continue
                 if msg[0] == "snap":
                     if on_snapshot is not None:
@@ -468,6 +579,7 @@ class SpaceWorkerPool:
                     errors.append(f"partition {p}: {msg[1]}")
                 else:
                     results[p] = msg[1]
+                    worker_bytes[p] = msg[2] if len(msg) > 2 else 0
         if errors:
             raise RuntimeError("space workers failed: " + "; ".join(errors))
         self.runs += 1
@@ -476,9 +588,10 @@ class SpaceWorkerPool:
         rounds_seen = [r[1] for r in ordered]
         stalls = [r[2] for r in ordered]
         flits = [r[3] for r in ordered]
+        coalesced = [r[4] for r in ordered]
         if tel_cfg is not None and _telemetry.RECORDER is not None:
             for r in ordered:
-                _telemetry.RECORDER.merge_state(r[4])
+                _telemetry.RECORDER.merge_state(r[5])
         stats = merge_part_stats(
             [payload_to_stats(p) for p in payloads], topo.num_ports, spec.costs
         )
@@ -491,25 +604,17 @@ class SpaceWorkerPool:
             windows_per_worker=rounds_seen,
             pipe_stall_s=stalls,
             boundary_flits=flits,
+            transport=self.transport,
+            bytes_moved=[worker_bytes[p] for p in range(self.partitions)],
+            coalesced_rounds=coalesced,
         )
         return stats, info
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        for conn in self._cmd_parent:
-            try:
-                conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self._cmd_parent:
-            conn.close()
-        self._cmd_parent = []
-        self._procs = []
+        if getattr(self, "_backend", None) is not None:
+            self._backend.close()
+            self._backend = None
 
     def __enter__(self) -> "SpaceWorkerPool":
         return self
@@ -518,7 +623,7 @@ class SpaceWorkerPool:
         self.close()
 
     def __del__(self):
-        if getattr(self, "_procs", None):
+        if getattr(self, "_backend", None) is not None:
             self.close()
 
 
@@ -529,6 +634,7 @@ def run_space(
     spec: SpaceSpec,
     pool: Optional[SpaceWorkerPool] = None,
     on_snapshot=None,
+    transport: str = "pipe",
 ) -> Tuple[FabricStats, SpaceRunInfo]:
     """Run ``spec`` space-partitioned; bit-identical to
     :func:`run_space_serial`.
@@ -541,8 +647,9 @@ def run_space(
     stitch back together).  Only ``partitions == 1`` stays in-process --
     silently, because one partition *is* a single-process run.
     ``on_snapshot(part_id, state)`` streams live mid-run worker states
-    (distributed runs only).  A supplied warm ``pool`` is used as-is;
-    otherwise a throwaway pool is created and torn down around the run.
+    (distributed runs only).  A supplied warm ``pool`` is used as-is
+    (its transport wins); otherwise a throwaway pool on ``transport``
+    is created and torn down around the run.
     """
     tel = _telemetry.RECORDER
     if spec.partitions == 1:
@@ -562,6 +669,9 @@ def run_space(
             boundary_flits=[0],
             serial_fallback=True,
             fallback_reason="partitions=1",
+            transport=_transport.transport_name(transport),
+            bytes_moved=[0],
+            coalesced_rounds=[0],
         )
         if tel is not None:
             tel.journeys.finalize()
@@ -574,7 +684,7 @@ def run_space(
             tel_cfg["port_classes"] = list(tel.journeys.port_classes)
     owned_pool = pool is None
     if owned_pool:
-        pool = SpaceWorkerPool(spec.partitions)
+        pool = SpaceWorkerPool(spec.partitions, transport=transport)
     try:
         stats, info = pool.run(spec, tel_cfg=tel_cfg, on_snapshot=on_snapshot)
     finally:
@@ -602,6 +712,11 @@ def _register_gauges(info: SpaceRunInfo) -> None:
     reg.set_gauge("space.boundary_flits", sum(info.boundary_flits))
     reg.set_gauge("space.partitions", info.partitions)
     reg.set_gauge("space.serial_fallback", info.serial_fallback)
+    reg.set_gauge("space.bytes_moved", sum(info.bytes_moved))
+    # Coalescing depends on arrival timing (and is disabled entirely
+    # when telemetry records), so the count is volatile like stall time.
+    reg.set_gauge("space.coalesced_rounds", sum(info.coalesced_rounds),
+                  volatile=True)
 
 
 # ---------------------------------------------------------------------------
@@ -641,6 +756,9 @@ def run_space_inprocess(spec: SpaceSpec) -> Tuple[FabricStats, SpaceRunInfo]:
 
         return _recv
 
+    def poll_fn(src: int, dst: int):
+        return lambda: bool(mailboxes[(src, dst)])
+
     results = []
     # Round-robin co-execution: because each round's receives depend only
     # on the previous round's sends, running partitions to completion one
@@ -669,8 +787,15 @@ def run_space_inprocess(spec: SpaceSpec) -> Tuple[FabricStats, SpaceRunInfo]:
             for dst in range(parts)
             if (part_id, dst) in mailboxes
         }
+        poll_fns = {
+            src: poll_fn(src, part_id)
+            for src in range(parts)
+            if (src, part_id) in mailboxes
+        }
         results.append(
-            (part_id, _simulate_partition(spec, part_id, blocks, recv_fns, send_fns))
+            (part_id,
+             _simulate_partition(spec, part_id, blocks, recv_fns, send_fns,
+                                 poll_fns=poll_fns))
         )
     results.sort()
     payloads = [payload_to_stats(r[1][0]) for r in results]
@@ -684,6 +809,9 @@ def run_space_inprocess(spec: SpaceSpec) -> Tuple[FabricStats, SpaceRunInfo]:
         windows_per_worker=[r[1][1] for r in results],
         pipe_stall_s=[r[1][2] for r in results],
         boundary_flits=[r[1][3] for r in results],
+        transport="inprocess",
+        bytes_moved=[0 for _ in results],
+        coalesced_rounds=[r[1][4] for r in results],
     )
     return stats, info
 
@@ -717,3 +845,19 @@ def _toposort_partitions(
             "feed-forward topology (use the worker pool)"
         )
     return order
+
+
+# ---------------------------------------------------------------------------
+# The multi-machine worker entry point (``python -m repro serve``).
+# ---------------------------------------------------------------------------
+def serve_worker(
+    address: str, authkey: bytes = _transport.DEFAULT_AUTHKEY
+) -> int:
+    """Connect to a ``socket:HOST:PORT`` coordinator and serve space
+    partitions until it hangs up.  ``address`` is ``HOST:PORT``."""
+    host, _, port = address.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return _transport._serve_client(
+        (host or "127.0.0.1", int(port)), authkey, _space_worker
+    )

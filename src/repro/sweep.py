@@ -286,11 +286,18 @@ def summarize(table: Dict[str, Any]) -> str:
             if sp.get("serial_fallback"):
                 line += f"  [space serial: {sp.get('fallback_reason', '?')}]"
             else:
+                auto = "auto " if sp.get("partitions_auto") else ""
                 line += (
-                    f"  [space P{sp['workers']}, "
+                    f"  [space {auto}P{sp['workers']} "
+                    f"{sp.get('transport', 'pipe')}, "
                     f"{sum(sp['windows_per_worker'])}w, "
                     f"stall {sum(sp['pipe_stall_s']):.2f}s, "
-                    f"{sum(sp['boundary_flits'])} bflits]"
+                    f"{sum(sp['boundary_flits'])} bflits, "
+                    f"{sum(sp.get('bytes_moved', []))/1024:.0f}KiB"
                 )
+                coal = sum(sp.get("coalesced_rounds", []))
+                if coal:
+                    line += f", {coal} coalesced"
+                line += "]"
         lines.append(line)
     return "\n".join(lines)

@@ -126,6 +126,12 @@ class Telemetry:
                 "serial_fallback": bool(
                     self.registry.read_gauge("space.serial_fallback")
                 ),
+                "bytes_moved": self.registry.read_gauge("space.bytes_moved")
+                or 0,
+                "coalesced_rounds": self.registry.read_gauge(
+                    "space.coalesced_rounds"
+                )
+                or 0,
             }
         return out
 

@@ -106,7 +106,7 @@ class TestTopology:
 
     def test_unknown_geometry(self):
         with pytest.raises(ValueError):
-            build_topology("torus", 4)
+            build_topology("mesh", 4)
 
 
 # ---------------------------------------------------------------------------
@@ -254,7 +254,7 @@ class TestWindowProtocol:
         total = spec.quanta + spec.warmup_quanta
         rounds = -(-total // spec.latency)
         sent_to_middle = deque()
-        _, got_rounds, _, _ = _simulate_partition(
+        _, got_rounds, _, _, _ = _simulate_partition(
             spec, 0, blocks, recv_fns={}, send_fns={1: sent_to_middle.append}
         )
         assert got_rounds == rounds
